@@ -1,0 +1,81 @@
+"""Benchmark P1 — substrate micro-benchmarks.
+
+Throughput of the pieces everything else is built on: convolution
+forward/backward, one LIF step, a full SNN forward, one PGD gradient
+step, and one optimizer update.  These run with real repetition (unlike
+the experiment benches, which execute once) and are the numbers to watch
+when optimising the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks.base import input_gradient
+from repro.models import build_model
+from repro.optim import Adam
+from repro.snn import LIFCell, LIFParameters
+from repro.tensor import Tensor, functional as F
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    x = Tensor(RNG.standard_normal((16, 8, 16, 16)).astype(np.float32), requires_grad=True)
+    w = Tensor(RNG.standard_normal((16, 8, 3, 3)).astype(np.float32), requires_grad=True)
+    b = Tensor(RNG.standard_normal(16).astype(np.float32), requires_grad=True)
+    return x, w, b
+
+
+def test_conv2d_forward(benchmark, conv_inputs):
+    x, w, b = conv_inputs
+    benchmark(lambda: F.conv2d(x, w, b, padding=1))
+
+
+def test_conv2d_forward_backward(benchmark, conv_inputs):
+    x, w, b = conv_inputs
+
+    def run():
+        out = F.conv2d(x, w, b, padding=1).sum()
+        x.zero_grad()
+        out.backward()
+
+    benchmark(run)
+
+
+def test_lif_step(benchmark):
+    cell = LIFCell(LIFParameters())
+    current = Tensor(RNG.standard_normal((32, 16, 8, 8)).astype(np.float32))
+    state = cell.step(current)[1]
+    benchmark(lambda: cell.step(current, state))
+
+
+def test_snn_forward(benchmark):
+    model = build_model("snn_lenet_mini", input_size=16, time_steps=16, rng=0)
+    x = Tensor(RNG.random((8, 1, 16, 16)).astype(np.float32))
+    benchmark(lambda: model(x))
+
+
+def test_pgd_gradient_step(benchmark):
+    model = build_model("snn_lenet_mini", input_size=16, time_steps=16, rng=0)
+    images = RNG.random((8, 1, 16, 16)).astype(np.float32)
+    labels = np.arange(8) % 10
+    benchmark(lambda: input_gradient(model, images, labels))
+
+
+def test_adam_step(benchmark):
+    model = build_model("lenet_mini", input_size=16, rng=0)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    x = Tensor(RNG.random((32, 1, 16, 16)).astype(np.float32))
+    labels = np.arange(32) % 10
+
+    def run():
+        loss = F.cross_entropy(model(x), labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    benchmark(run)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Visualise adversarial perturbations on CNN vs SNN (ASCII rendering).
+
+Trains a small CNN and an equal-topology SNN, crafts PGD adversarial
+examples against each, and prints the clean digit, the adversarial digit
+and the perturbation side by side, together with each model's prediction.
+
+Usage::
+
+    python examples/attack_visualization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import PGD, predict_batched
+from repro.data import load_synthetic_mnist
+from repro.models import build_model
+from repro.snn import LIFParameters
+from repro.training import Trainer, TrainingConfig
+
+SHADES = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray) -> list[str]:
+    """Render a (H, W) array in [0, 1] as shade glyph rows."""
+    scaled = np.clip(image, 0.0, 1.0)
+    return [
+        "".join(SHADES[min(9, int(v * 9.99))] for v in row)
+        for row in scaled
+    ]
+
+
+def side_by_side(panels: dict[str, np.ndarray]) -> str:
+    """Render several images next to each other with titles."""
+    rendered = {title: ascii_image(img) for title, img in panels.items()}
+    width = max(len(rows[0]) for rows in rendered.values()) + 2
+    lines = ["".join(f"{title:<{width}}" for title in rendered)]
+    height = max(len(rows) for rows in rendered.values())
+    for r in range(height):
+        lines.append("".join(f"{rows[r]:<{width}}" for rows in rendered.values()))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    train, test = load_synthetic_mnist(800, 100, image_size=16, seed=2)
+
+    cnn = build_model("lenet_mini", input_size=16, rng=0)
+    snn = build_model(
+        "snn_lenet_mini", input_size=16, time_steps=32,
+        lif_params=LIFParameters(v_th=1.0), rng=0,
+    )
+    config = TrainingConfig(epochs=6, batch_size=32)
+    print("training CNN ...")
+    Trainer(cnn, config).fit(train)
+    print("training SNN (this is the slow part) ...")
+    Trainer(snn, config).fit(train)
+
+    epsilon = 0.15
+    sample = test.images[:1]
+    label = test.labels[:1]
+    for name, model in (("CNN", cnn), ("SNN", snn)):
+        attack = PGD(epsilon, steps=8, rng=0)
+        adversarial = attack.generate(model, sample, label)
+        perturbation = np.abs(adversarial - sample) / epsilon  # rescale to [0,1]
+        clean_pred = predict_batched(model, sample)[0]
+        adv_pred = predict_batched(model, adversarial)[0]
+        print()
+        print(f"=== {name}: true label {label[0]}, "
+              f"clean prediction {clean_pred}, adversarial prediction {adv_pred} "
+              f"(PGD eps={epsilon})")
+        print(side_by_side({
+            "clean": sample[0, 0],
+            "adversarial": adversarial[0, 0],
+            "|perturbation|": perturbation[0, 0],
+        }))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bank-cheque digit reading under attack (the paper's intro scenario).
+
+The paper motivates SNN security with automatic bank-cheque processing:
+"An attacker could easily fool the model to predict wrong bank account
+numbers or wrong amount of money."  This example simulates exactly that:
+
+1. an 8-digit account number is rendered as a sequence of digit images;
+2. a CNN reader and an SNN reader (tuned structural parameters) read it;
+3. a white-box PGD adversary perturbs every digit within budget epsilon;
+4. we compare how many digits of the account number each reader preserves.
+
+Usage::
+
+    python examples/bankcheck_digits.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import PGD, predict_batched
+from repro.data import SynthConfig, SyntheticMNIST, load_synthetic_mnist
+from repro.models import build_model
+from repro.snn import LIFParameters
+from repro.training import Trainer, TrainingConfig
+
+ACCOUNT_NUMBER = (3, 1, 4, 1, 5, 9, 2, 6)
+
+
+def render_account_number(digits, seed: int) -> np.ndarray:
+    """Render each digit of the account number as one image."""
+    generator = SyntheticMNIST(SynthConfig(image_size=16), seed=seed)
+    bank = generator.generate(400, split="cheque")
+    images = []
+    for digit in digits:
+        candidates = np.where(bank.labels == digit)[0]
+        images.append(bank.images[candidates[0]])
+    return np.stack(images)
+
+
+def read_digits(model, images: np.ndarray) -> tuple[int, ...]:
+    return tuple(int(d) for d in predict_batched(model, images))
+
+
+def main() -> None:
+    train, _test = load_synthetic_mnist(800, 10, image_size=16, seed=4)
+    config = TrainingConfig(epochs=6, batch_size=32)
+
+    print("training the CNN cheque reader ...")
+    cnn = build_model("lenet_mini", input_size=16, rng=0)
+    Trainer(cnn, config).fit(train)
+
+    print("training the SNN cheque reader (Vth=1, T=32) ...")
+    snn = build_model(
+        "snn_lenet_mini", input_size=16, time_steps=32,
+        lif_params=LIFParameters(v_th=1.0), rng=0,
+    )
+    Trainer(snn, config).fit(train)
+
+    cheque = render_account_number(ACCOUNT_NUMBER, seed=99)
+    labels = np.array(ACCOUNT_NUMBER)
+    print(f"\naccount number on the cheque: {''.join(map(str, ACCOUNT_NUMBER))}")
+    for name, model in (("CNN", cnn), ("SNN", snn)):
+        clean = read_digits(model, cheque)
+        print(f"{name} reads (clean):      {''.join(map(str, clean))}")
+
+    print("\nadversary perturbs every digit (white-box PGD):")
+    print(f"{'epsilon':>8} {'CNN digits ok':>14} {'SNN digits ok':>14}")
+    for epsilon in (0.05, 0.1, 0.2):
+        row = [f"{epsilon:>8.2f}"]
+        for model in (cnn, snn):
+            attack = PGD(epsilon, steps=8, rng=0)
+            adv = attack.generate(model, cheque, labels)
+            reading = np.array(read_digits(model, adv))
+            row.append(f"{(reading == labels).sum():>10d}/{len(labels)}")
+        print(" ".join(row))
+    print(
+        "\nA digit 'ok' count below 8 means the attacker changed the account "
+        "number that reader would book."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Structural tuning vs adversarial training vs both.
+
+The paper proposes tuning (Vth, T) as an *inherent* robustness mechanism;
+the classic *algorithmic* defense is PGD adversarial training.  This
+example trains four small models and compares their PGD robustness:
+
+1. CNN, standard training (baseline);
+2. CNN, adversarial training;
+3. SNN with tuned structural parameters, standard training;
+4. SNN with tuned structural parameters + adversarial training.
+
+Takes several minutes on CPU (four training runs, two of them with an
+inner PGD loop).
+
+Usage::
+
+    python examples/defense_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import PGD, evaluate_attack, evaluate_clean_accuracy
+from repro.data import load_synthetic_mnist
+from repro.models import build_model
+from repro.snn import LIFParameters
+from repro.training import (
+    AdversarialTrainer,
+    AdversarialTrainingConfig,
+    Trainer,
+    TrainingConfig,
+)
+
+EPSILON = 0.15
+
+
+def main() -> None:
+    train, test = load_synthetic_mnist(600, 120, image_size=16, seed=5)
+    subset = test.take(64)
+    standard_config = TrainingConfig(epochs=5, batch_size=32)
+    adversarial_config = AdversarialTrainingConfig(
+        epochs=5, batch_size=32,
+        attack_epsilon=EPSILON, attack_steps=3, adversarial_fraction=0.5,
+    )
+    snn_kwargs = dict(
+        input_size=16, time_steps=32, lif_params=LIFParameters(v_th=1.0), rng=0
+    )
+
+    models = {}
+    print("training CNN (standard) ...")
+    models["cnn standard"] = build_model("lenet_mini", input_size=16, rng=0)
+    Trainer(models["cnn standard"], standard_config).fit(train)
+
+    print("training CNN (adversarial) ...")
+    models["cnn adv-trained"] = build_model("lenet_mini", input_size=16, rng=0)
+    AdversarialTrainer(models["cnn adv-trained"], adversarial_config).fit(train)
+
+    print("training SNN (standard) ...")
+    models["snn standard"] = build_model("snn_lenet_mini", **snn_kwargs)
+    Trainer(models["snn standard"], standard_config).fit(train)
+
+    print("training SNN (adversarial; slow) ...")
+    models["snn adv-trained"] = build_model("snn_lenet_mini", **snn_kwargs)
+    AdversarialTrainer(models["snn adv-trained"], adversarial_config).fit(train)
+
+    print(f"\n{'model':>18} {'clean':>7} {'robust@' + str(EPSILON):>12}")
+    attack = PGD(EPSILON, steps=8, rng=0)
+    for name, model in models.items():
+        clean = evaluate_clean_accuracy(model, test)
+        robust = evaluate_attack(model, attack, subset).robustness
+        print(f"{name:>18} {clean * 100:>6.1f}% {robust * 100:>11.1f}%")
+    print(
+        "\nInherent (structural) and algorithmic (adversarial-training) "
+        "defenses compose: the adversarially trained SNN should top the table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Beyond digits: spiking classification of oriented gratings.
+
+Uses the second synthetic dataset (:func:`repro.data.make_patterns`) to
+show that the spiking substrate is not MNIST-specific: a small SNN learns
+4-way orientation discrimination, and the same structural-parameter knobs
+(Vth, T) trade accuracy against simulation length.
+
+Usage::
+
+    python examples/patterns_classification.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import evaluate_clean_accuracy
+from repro.data import PatternsConfig, make_patterns
+from repro.models import build_model
+from repro.snn import LIFParameters
+from repro.training import Trainer, TrainingConfig
+
+
+def main() -> None:
+    config = PatternsConfig(image_size=16, num_classes=4)
+    train = make_patterns(400, config, seed=0, split="train")
+    test = make_patterns(120, config, seed=0, split="test")
+    print(f"4-way orientation task: train {train.images.shape}, test {test.images.shape}")
+
+    print(f"\n{'T':>4} {'Vth':>5} {'accuracy':>9} {'spikes/sample':>14}")
+    for time_steps in (8, 16, 32):
+        for v_th in (0.5, 1.0):
+            model = build_model(
+                "snn_lenet_mini",
+                input_size=16,
+                num_classes=4,
+                time_steps=time_steps,
+                lif_params=LIFParameters(v_th=v_th),
+                rng=0,
+            )
+            Trainer(model, TrainingConfig(epochs=4, batch_size=32)).fit(train)
+            accuracy = evaluate_clean_accuracy(model, test)
+            from repro.tensor import Tensor
+
+            counts = model.spike_counts(Tensor(test.images[:16]))
+            spikes_per_sample = sum(float(c.data) for c in counts) / 16
+            print(
+                f"{time_steps:>4} {v_th:>5.2f} {accuracy * 100:>8.1f}% "
+                f"{spikes_per_sample:>14.0f}"
+            )
+    print(
+        "\nLonger windows and lower thresholds buy accuracy with more spikes "
+        "(i.e. more energy on neuromorphic hardware) - the same trade-off the "
+        "paper's structural-parameter exploration navigates for security."
+    )
+
+
+if __name__ == "__main__":
+    main()

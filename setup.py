@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs cannot build. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+``setup.py develop``, which needs no wheel. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,114 @@
+"""Attack base class and shared white-box utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+
+__all__ = ["Attack", "input_gradient", "predict_batched"]
+
+
+def input_gradient(model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of the cross-entropy loss w.r.t. the input pixels.
+
+    This is the core white-box primitive (Eq. 3 of the paper uses its
+    sign).  For spiking models the gradient flows through the unrolled
+    time loop and the surrogate spike derivatives.
+
+    Returns zeros when the loss does not depend on the input at all.
+    This is a real phenomenon in SNNs, not an error: each state-coupled
+    stage adds one step of input-to-output latency, so when the time
+    window ``T`` is smaller than the network depth the readout trace is
+    (exactly) independent of the image — the white-box gradient vanishes
+    and gradient-based attacks are blinded.
+    """
+    x = Tensor(images.copy(), requires_grad=True)
+    logits = model(x)
+    loss = F.cross_entropy(logits, labels)
+    loss.backward()
+    if x.grad is None:
+        return np.zeros_like(x.data)
+    return x.grad
+
+
+def predict_batched(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    """Class predictions without building autograd graphs."""
+    predictions = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            logits = model(Tensor(images[start : start + batch_size]))
+            predictions.append(logits.data.argmax(axis=1))
+    return np.concatenate(predictions) if predictions else np.empty(0, dtype=np.int64)
+
+
+class Attack:
+    """Base class: bounded perturbation crafting on ``[0, 1]`` images.
+
+    Parameters
+    ----------
+    epsilon:
+        L-infinity noise budget ``ε >= 0`` (paper notation).  ``ε = 0``
+        returns the input unchanged, so robustness curves start at the
+        clean accuracy.
+    clip_min, clip_max:
+        Valid pixel range (the projection set ``S_x`` includes it).
+    """
+
+    name: str = "attack"
+
+    def __init__(
+        self,
+        epsilon: float,
+        clip_min: float = 0.0,
+        clip_max: float = 1.0,
+        targeted: bool = False,
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        if clip_min >= clip_max:
+            raise ValueError(f"need clip_min < clip_max, got {clip_min} >= {clip_max}")
+        self.epsilon = float(epsilon)
+        self.clip_min = float(clip_min)
+        self.clip_max = float(clip_max)
+        self.targeted = bool(targeted)
+
+    @property
+    def _gradient_sign(self) -> float:
+        """+1 ascends the loss (untargeted); -1 descends it (targeted).
+
+        For targeted attacks the ``labels`` passed to :meth:`generate` are
+        the attacker's *target* classes and the perturbation walks towards
+        them instead of away from the true class.
+        """
+        return -1.0 if self.targeted else 1.0
+
+    # -- interface -----------------------------------------------------------
+
+    def generate(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Return adversarial examples of the same shape as ``images``."""
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+        if len(images) != len(labels):
+            raise ValueError("images and labels must agree on the batch dimension")
+        if self.epsilon == 0.0:
+            return images.copy()
+        adversarial = self._perturb(model, images, labels)
+        return self.project(images, adversarial)
+
+    def _perturb(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------
+
+    def project(self, reference: np.ndarray, candidate: np.ndarray) -> np.ndarray:
+        """Projection ``P_Sx``: intersect the ε-ball around ``reference``
+        with the valid pixel box."""
+        low = np.maximum(reference - self.epsilon, self.clip_min)
+        high = np.minimum(reference + self.epsilon, self.clip_max)
+        return np.clip(candidate, low, high).astype(reference.dtype, copy=False)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(epsilon={self.epsilon})"

@@ -1,0 +1,61 @@
+"""Fast Gradient Sign Method and its basic iterative variant."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, input_gradient
+from repro.nn.module import Module
+
+__all__ = ["BIM", "FGSM"]
+
+
+class FGSM(Attack):
+    """Single-step L-infinity attack (Goodfellow et al., 2015).
+
+    ``x* = clip(x + ε · sign(∇_x L(x, y)))``; with ``targeted=True`` the
+    sign flips and ``y`` is interpreted as the attacker's target class.
+    """
+
+    name = "fgsm"
+
+    def _perturb(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        gradient = input_gradient(model, images, labels)
+        return images + self._gradient_sign * self.epsilon * np.sign(gradient)
+
+
+class BIM(Attack):
+    """Basic Iterative Method (Kurakin et al., 2017): iterated FGSM.
+
+    Deterministic (no random start) PGD with step ``alpha`` defaulting to
+    ``epsilon / steps``; kept distinct from :class:`~repro.attacks.pgd.PGD`
+    for the attack-family ablation.
+    """
+
+    name = "bim"
+
+    def __init__(
+        self,
+        epsilon: float,
+        steps: int = 10,
+        alpha: float | None = None,
+        clip_min: float = 0.0,
+        clip_max: float = 1.0,
+        targeted: bool = False,
+    ) -> None:
+        super().__init__(epsilon, clip_min, clip_max, targeted)
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        self.steps = steps
+        self.alpha = float(alpha) if alpha is not None else (epsilon / steps if steps else 0.0)
+
+    def _perturb(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        current = images.copy()
+        for _ in range(self.steps):
+            gradient = input_gradient(model, current, labels)
+            current = current + self._gradient_sign * self.alpha * np.sign(gradient)
+            current = self.project(images, current)
+        return current
+
+    def __repr__(self) -> str:
+        return f"BIM(epsilon={self.epsilon}, steps={self.steps}, alpha={self.alpha})"

@@ -1,0 +1,124 @@
+"""Attack evaluation metrics.
+
+The central quantity is the paper's robustness (Algorithm 1, line 15):
+
+.. math::
+
+    \\mathrm{Robustness}(ε) = 1 - \\frac{\\#\\{S(X^*_t) \\neq L_t\\}}{|D|}
+
+i.e. the fraction of test samples for which the attack *fails* to force a
+misclassification.  Samples the model already gets wrong on clean input
+count as attack successes (the inequality holds trivially), so
+``robustness(ε → 0)`` equals the clean accuracy — matching how the curves
+in paper Figs. 1 and 9 start at the clean accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.base import Attack, predict_batched
+from repro.data.dataset import ArrayDataset
+from repro.nn.module import Module
+
+__all__ = [
+    "AttackEvaluation",
+    "evaluate_attack",
+    "evaluate_clean_accuracy",
+    "perturbation_norms",
+]
+
+
+@dataclass(frozen=True)
+class AttackEvaluation:
+    """Outcome of attacking one model on one dataset at one budget."""
+
+    attack_name: str
+    epsilon: float
+    num_samples: int
+    clean_accuracy: float
+    adversarial_accuracy: float
+    mean_linf: float
+    mean_l2: float
+
+    @property
+    def robustness(self) -> float:
+        """Paper Algorithm 1 line 15 (== adversarial accuracy)."""
+        return self.adversarial_accuracy
+
+    @property
+    def attack_success_rate(self) -> float:
+        """Fraction of samples ending up misclassified."""
+        return 1.0 - self.adversarial_accuracy
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "attack": self.attack_name,
+            "epsilon": self.epsilon,
+            "num_samples": self.num_samples,
+            "clean_accuracy": self.clean_accuracy,
+            "adversarial_accuracy": self.adversarial_accuracy,
+            "robustness": self.robustness,
+            "attack_success_rate": self.attack_success_rate,
+            "mean_linf": self.mean_linf,
+            "mean_l2": self.mean_l2,
+        }
+
+
+def perturbation_norms(clean: np.ndarray, adversarial: np.ndarray) -> tuple[float, float]:
+    """Mean per-sample L-infinity and L2 norms of the perturbation."""
+    delta = (adversarial - clean).reshape(len(clean), -1)
+    linf = np.abs(delta).max(axis=1).mean() if len(delta) else 0.0
+    l2 = np.sqrt((delta * delta).sum(axis=1)).mean() if len(delta) else 0.0
+    return float(linf), float(l2)
+
+
+def evaluate_clean_accuracy(
+    model: Module, dataset: ArrayDataset, batch_size: int = 64
+) -> float:
+    """Accuracy on unperturbed inputs."""
+    predictions = predict_batched(model, dataset.images, batch_size)
+    return float((predictions == dataset.labels).mean())
+
+
+def evaluate_attack(
+    model: Module,
+    attack: Attack,
+    dataset: ArrayDataset,
+    batch_size: int = 32,
+) -> AttackEvaluation:
+    """Run ``attack`` over ``dataset`` and compute robustness metrics.
+
+    Adversarial examples are crafted batch-wise (bounding the memory of
+    unrolled SNN graphs) in training-independent eval mode.
+    """
+    model.eval()
+    images, labels = dataset.images, dataset.labels
+    adv_correct = 0
+    clean_correct = 0
+    linf_sum = 0.0
+    l2_sum = 0.0
+    for start in range(0, len(images), batch_size):
+        x = images[start : start + batch_size]
+        y = labels[start : start + batch_size]
+        x_adv = attack.generate(model, x, y)
+        adv_pred = predict_batched(model, x_adv, batch_size)
+        clean_pred = predict_batched(model, x, batch_size)
+        adv_correct += int((adv_pred == y).sum())
+        clean_correct += int((clean_pred == y).sum())
+        linf, l2 = perturbation_norms(x, x_adv)
+        linf_sum += linf * len(x)
+        l2_sum += l2 * len(x)
+    n = len(images)
+    return AttackEvaluation(
+        attack_name=attack.name,
+        epsilon=attack.epsilon,
+        num_samples=n,
+        clean_accuracy=clean_correct / n,
+        adversarial_accuracy=adv_correct / n,
+        mean_linf=linf_sum / n,
+        mean_l2=l2_sum / n,
+    )

@@ -1,0 +1,19 @@
+"""Global defaults shared across the :mod:`repro` library.
+
+This module intentionally holds only a handful of simple constants:
+
+* :data:`DEFAULT_DTYPE` — the numpy dtype used for freshly created tensors
+  when no dtype is given.  Float32 keeps the CPU simulations fast; the
+  numerical gradient checker overrides it with float64 locally.
+* :data:`DEFAULT_SEED` — the seed used by experiment profiles when the user
+  does not provide one, so that the shipped benchmarks are reproducible.
+* :data:`EPS` — generic small constant guarding logs and divisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_DTYPE: np.dtype = np.dtype(np.float32)
+DEFAULT_SEED: int = 0xD47E  # "DATE", the venue.
+EPS: float = 1e-12

@@ -1,0 +1,124 @@
+"""Canonical 5x7 bitmap glyphs for the digits 0-9.
+
+These are the seeds of the synthetic MNIST substitute: each sample starts
+from one of these bitmaps and is then distorted (zoom, affine transform,
+stroke-thickness change, blur, noise) by
+:mod:`repro.data.synth_mnist`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GLYPH_ROWS: dict[int, tuple[str, ...]] = {
+    0: (
+        "01110",
+        "10001",
+        "10011",
+        "10101",
+        "11001",
+        "10001",
+        "01110",
+    ),
+    1: (
+        "00100",
+        "01100",
+        "00100",
+        "00100",
+        "00100",
+        "00100",
+        "01110",
+    ),
+    2: (
+        "01110",
+        "10001",
+        "00001",
+        "00010",
+        "00100",
+        "01000",
+        "11111",
+    ),
+    3: (
+        "11111",
+        "00010",
+        "00100",
+        "00010",
+        "00001",
+        "10001",
+        "01110",
+    ),
+    4: (
+        "00010",
+        "00110",
+        "01010",
+        "10010",
+        "11111",
+        "00010",
+        "00010",
+    ),
+    5: (
+        "11111",
+        "10000",
+        "11110",
+        "00001",
+        "00001",
+        "10001",
+        "01110",
+    ),
+    6: (
+        "00110",
+        "01000",
+        "10000",
+        "11110",
+        "10001",
+        "10001",
+        "01110",
+    ),
+    7: (
+        "11111",
+        "00001",
+        "00010",
+        "00100",
+        "01000",
+        "01000",
+        "01000",
+    ),
+    8: (
+        "01110",
+        "10001",
+        "10001",
+        "01110",
+        "10001",
+        "10001",
+        "01110",
+    ),
+    9: (
+        "01110",
+        "10001",
+        "10001",
+        "01111",
+        "00001",
+        "00010",
+        "01100",
+    ),
+}
+
+GLYPH_HEIGHT = 7
+GLYPH_WIDTH = 5
+NUM_CLASSES = 10
+
+
+def digit_glyph(digit: int) -> np.ndarray:
+    """Return the ``(7, 5)`` float bitmap (0/1) for ``digit``."""
+    if digit not in _GLYPH_ROWS:
+        raise ValueError(f"digit must be in 0..9, got {digit}")
+    rows = _GLYPH_ROWS[digit]
+    return np.array(
+        [[1.0 if ch == "1" else 0.0 for ch in row] for row in rows],
+        dtype=np.float32,
+    )
+
+
+def all_glyphs() -> np.ndarray:
+    """Return the stacked ``(10, 7, 5)`` glyph array, index = digit."""
+    return np.stack([digit_glyph(d) for d in range(NUM_CLASSES)])

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Lower-level subsystems raise the more specific
+subclasses below; plain ``ValueError``/``TypeError`` are reserved for
+argument-validation errors at public API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AutogradError(ReproError):
+    """Raised for invalid automatic-differentiation requests.
+
+    Examples: calling ``backward()`` on a non-scalar without an explicit
+    output gradient, or asking for the gradient of a tensor that does not
+    require one.
+    """
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible for an operation."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object contains inconsistent values."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training run cannot proceed (e.g. divergence)."""
+
+
+class ExplorationError(ReproError):
+    """Raised by the robustness-exploration pipeline for invalid setups."""

@@ -1,0 +1,128 @@
+"""Figure 1 — motivational case study.
+
+Trains the 5-layer CNN (3 conv + 2 FC) and the equal-topology SNN with
+default structural parameters, applies white-box PGD at increasing noise
+budgets, and tracks the accuracy of both.  The paper's claims:
+
+1. at low ε the CNN is (slightly) more accurate;
+2. past a turnaround point (ε ≈ 0.5) the SNN degrades much more slowly;
+3. for ε > 1 the gap exceeds 50 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.metrics import evaluate_clean_accuracy
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.workloads import load_profile_data, make_profile_attack_builder
+from repro.models.registry import build_model
+from repro.robustness.report import render_curve_table
+from repro.robustness.security import RobustnessCurve, robustness_curve
+from repro.training.trainer import Trainer
+from repro.utils.logging import get_logger
+from repro.utils.seeding import SeedSequence
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+_logger = get_logger("experiments.fig1")
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Accuracy-vs-epsilon curves of the motivational study."""
+
+    epsilons: tuple[float, ...]
+    cnn_curve: RobustnessCurve
+    snn_curve: RobustnessCurve
+    cnn_clean_accuracy: float
+    snn_clean_accuracy: float
+
+    @property
+    def turnaround_epsilon(self) -> float | None:
+        """First ε where the SNN overtakes the CNN (paper pointer 2)."""
+        for eps, cnn_r, snn_r in zip(
+            self.epsilons, self.cnn_curve.robustness, self.snn_curve.robustness
+        ):
+            if snn_r > cnn_r:
+                return eps
+        return None
+
+    @property
+    def max_gap(self) -> float:
+        """Largest (SNN − CNN) robustness gap over the sweep (pointer 3)."""
+        return max(
+            s - c
+            for s, c in zip(self.snn_curve.robustness, self.cnn_curve.robustness)
+        )
+
+    def render(self) -> str:
+        """Text rendering of the figure."""
+        table = render_curve_table(
+            self.epsilons,
+            {"CNN (3conv+2fc)": self.cnn_curve.robustness,
+             "SNN (same topo)": self.snn_curve.robustness},
+            title="Figure 1 - PGD attack on CNN vs SNN (accuracy %, by epsilon)",
+        )
+        extra = (
+            f"\nturnaround epsilon: {self.turnaround_epsilon}"
+            f"\nmax SNN-CNN gap: {self.max_gap * 100:.1f}%"
+        )
+        return table + extra
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "epsilons": list(self.epsilons),
+            "cnn": self.cnn_curve.as_dict(),
+            "snn": self.snn_curve.as_dict(),
+            "cnn_clean_accuracy": self.cnn_clean_accuracy,
+            "snn_clean_accuracy": self.snn_clean_accuracy,
+            "turnaround_epsilon": self.turnaround_epsilon,
+            "max_gap": self.max_gap,
+        }
+
+
+def run_fig1(profile: ExperimentProfile | str = "smoke", verbose: bool = False) -> Fig1Result:
+    """Reproduce the Figure-1 sweep under the given profile."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    seeds = SeedSequence(profile.seed)
+    train, test, _bounds = load_profile_data(profile)
+    attack_subset = test.take(profile.attack_subset)
+
+    cnn = build_model(
+        profile.fig1_cnn_model,
+        input_size=profile.image_size,
+        rng=seeds.child_seed("fig1", "cnn"),
+    )
+    snn = build_model(
+        profile.fig1_snn_model,
+        input_size=profile.image_size,
+        time_steps=profile.time_steps_default,
+        input_scale=profile.input_scale,
+        rng=seeds.child_seed("fig1", "snn"),
+    )
+
+    training = profile.training_config()
+    if verbose:
+        _logger.info("training CNN (%s)", profile.fig1_cnn_model)
+    Trainer(cnn, training).fit(train)
+    if verbose:
+        _logger.info("training SNN (%s, T=%d)", profile.fig1_snn_model, profile.time_steps_default)
+    Trainer(snn, training).fit(train)
+
+    attack_builder = make_profile_attack_builder(profile)
+    cnn_curve = robustness_curve(
+        cnn, attack_subset, profile.curve_epsilons, attack_builder, label="cnn"
+    )
+    snn_curve = robustness_curve(
+        snn, attack_subset, profile.curve_epsilons, attack_builder, label="snn"
+    )
+    return Fig1Result(
+        epsilons=tuple(profile.curve_epsilons),
+        cnn_curve=cnn_curve,
+        snn_curve=snn_curve,
+        cnn_clean_accuracy=evaluate_clean_accuracy(cnn, test),
+        snn_clean_accuracy=evaluate_clean_accuracy(snn, test),
+    )

@@ -1,0 +1,81 @@
+"""Figures 6, 7 and 8 — the (Vth, T) grid exploration.
+
+One run of Algorithm 1 produces all three artifacts:
+
+* Fig. 6 — clean-accuracy heat map (learnability study);
+* Fig. 7 — robustness heat map under PGD ε = 1;
+* Fig. 8 — robustness heat map under PGD ε = 1.5.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.workloads import build_grid_model_factory, load_profile_data
+from repro.robustness.config import ExplorationConfig
+from repro.robustness.exploration import RobustnessExplorer
+from repro.robustness.report import render_heatmap
+from repro.robustness.results import ExplorationResult
+
+__all__ = ["fig6_table", "fig7_table", "fig8_table", "run_grid_exploration"]
+
+
+def run_grid_exploration(
+    profile: ExperimentProfile | str = "smoke",
+    verbose: bool = False,
+) -> ExplorationResult:
+    """Run Algorithm 1 over the profile's grid (Figs. 6-8 in one pass)."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    train, test, (clip_min, clip_max) = load_profile_data(profile)
+    attack_subset = test.take(profile.attack_subset)
+    config = ExplorationConfig(
+        v_thresholds=profile.v_thresholds,
+        time_windows=profile.time_windows,
+        epsilons=profile.grid_epsilons,
+        accuracy_threshold=profile.accuracy_threshold,
+        attack="pgd",
+        attack_steps=profile.pgd_steps,
+        clip_min=clip_min,
+        clip_max=clip_max,
+        training=profile.training_config(),
+        seed=profile.seed,
+    )
+    explorer = RobustnessExplorer(
+        model_factory=build_grid_model_factory(profile),
+        train_set=train,
+        test_set=attack_subset,
+        config=config,
+    )
+    result = explorer.run(verbose=verbose)
+    result.metadata["profile"] = profile.name
+    return result
+
+
+def fig6_table(result: ExplorationResult) -> str:
+    """Render the Figure-6 learnability heat map."""
+    return render_heatmap(
+        result.accuracy_grid(),
+        result.row_labels(),
+        result.column_labels(),
+        title="Figure 6 - clean accuracy (%) per (Vth, T)",
+    )
+
+
+def fig7_table(result: ExplorationResult, epsilon: float = 1.0) -> str:
+    """Render the Figure-7 security heat map (PGD ε = 1)."""
+    return render_heatmap(
+        result.robustness_grid(epsilon),
+        result.row_labels(),
+        result.column_labels(),
+        title=f"Figure 7 - robustness (%) under PGD eps={epsilon:g} per (Vth, T)",
+    )
+
+
+def fig8_table(result: ExplorationResult, epsilon: float = 1.5) -> str:
+    """Render the Figure-8 security heat map (PGD ε = 1.5)."""
+    return render_heatmap(
+        result.robustness_grid(epsilon),
+        result.row_labels(),
+        result.column_labels(),
+        title=f"Figure 8 - robustness (%) under PGD eps={epsilon:g} per (Vth, T)",
+    )

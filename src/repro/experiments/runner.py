@@ -1,0 +1,144 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples
+--------
+Run the Figure-6/7/8 grid at smoke scale and save everything::
+
+    python -m repro.experiments grid --profile smoke --out results/
+
+Run the motivational study::
+
+    python -m repro.experiments fig1 --profile smoke
+
+Run one ablation::
+
+    python -m repro.experiments ablation-surrogate --profile smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.ablations import (
+    run_attack_ablation,
+    run_encoding_ablation,
+    run_reset_ablation,
+    run_surrogate_ablation,
+)
+from repro.experiments.fig1_motivation import run_fig1
+from repro.experiments.fig678_grid import (
+    fig6_table,
+    fig7_table,
+    fig8_table,
+    run_grid_exploration,
+)
+from repro.experiments.fig9_sweetspots import run_fig9
+from repro.experiments.profiles import available_profiles, get_profile
+
+__all__ = ["main"]
+
+_EXPERIMENTS = (
+    "fig1",
+    "grid",
+    "fig9",
+    "ablation-surrogate",
+    "ablation-encoding",
+    "ablation-reset",
+    "ablation-attack",
+    "all",
+)
+
+
+def _write_json(out_dir: Path | None, name: str, payload: dict | str) -> None:
+    if out_dir is None:
+        return
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.json"
+    text = payload if isinstance(payload, str) else json.dumps(payload, indent=2, sort_keys=True)
+    path.write_text(text)
+    print(f"[saved] {path}")
+
+
+def _run_fig1(profile, out_dir: Path | None) -> None:
+    result = run_fig1(profile, verbose=True)
+    print(result.render())
+    _write_json(out_dir, f"fig1_{profile.name}", result.as_dict())
+
+
+def _run_grid(profile, out_dir: Path | None) -> None:
+    from repro.errors import ExplorationError
+    from repro.robustness import select_sweet_spots
+
+    result = run_grid_exploration(profile, verbose=True)
+    print(fig6_table(result))
+    print()
+    print(fig7_table(result))
+    print()
+    print(fig8_table(result))
+    for epsilon in profile.grid_epsilons:
+        try:
+            picks = select_sweet_spots(result, epsilon, top_k=3)
+        except ExplorationError:
+            continue
+        print(f"\nrecommended (Vth, T) sweet spots at eps={epsilon:g}:")
+        for pick in picks:
+            print(f"  {pick.render()}")
+    _write_json(out_dir, f"grid_{profile.name}", result.to_json())
+
+
+def _run_fig9(profile, out_dir: Path | None) -> None:
+    result = run_fig9(profile, verbose=True)
+    print(result.render())
+    _write_json(out_dir, f"fig9_{profile.name}", result.as_dict())
+
+
+def _run_ablation(runner, tag: str, profile, out_dir: Path | None) -> None:
+    result = runner(profile)
+    print(result.render())
+    _write_json(out_dir, f"ablation_{tag}_{profile.name}", result.as_dict())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the figures of El-Allami et al., DATE 2021.",
+    )
+    parser.add_argument("experiment", choices=_EXPERIMENTS, help="what to run")
+    parser.add_argument(
+        "--profile",
+        default="smoke",
+        choices=available_profiles(),
+        help="experiment scale (default: smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for JSON result artifacts (optional)",
+    )
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+
+    if args.experiment in ("fig1", "all"):
+        _run_fig1(profile, args.out)
+    if args.experiment in ("grid", "all"):
+        _run_grid(profile, args.out)
+    if args.experiment in ("fig9", "all"):
+        _run_fig9(profile, args.out)
+    if args.experiment in ("ablation-surrogate", "all"):
+        _run_ablation(run_surrogate_ablation, "surrogate", profile, args.out)
+    if args.experiment in ("ablation-encoding", "all"):
+        _run_ablation(run_encoding_ablation, "encoding", profile, args.out)
+    if args.experiment in ("ablation-reset", "all"):
+        _run_ablation(run_reset_ablation, "reset", profile, args.out)
+    if args.experiment in ("ablation-attack", "all"):
+        _run_ablation(run_attack_ablation, "attack", profile, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class ModuleList(Module):
+    """An indexable list of sub-modules that registers its children.
+
+    Because :class:`Module` discovers children via instance attributes, a
+    plain Python list would hide its contents from ``parameters()``;
+    ``ModuleList`` stores each entry as a numbered attribute instead.
+    """
+
+    def __init__(self, modules: Sequence[Module] = ()) -> None:
+        super().__init__()
+        self._length = 0
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        """Add a module to the end of the list."""
+        if not isinstance(module, Module):
+            raise TypeError(f"ModuleList.append expects a Module, got {type(module)}")
+        setattr(self, str(self._length), module)
+        self._length += 1
+        return self
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Module]:
+        for index in range(self._length):
+            yield getattr(self, str(index))
+
+    def __getitem__(self, index: int) -> Module:
+        if not -self._length <= index < self._length:
+            raise IndexError(f"index {index} out of range for length {self._length}")
+        return getattr(self, str(index % self._length))
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError("ModuleList is a container and cannot be called")
+
+
+class Sequential(Module):
+    """Apply modules in order: ``Sequential(a, b)(x) == b(a(x))``."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        """Add a module at the end of the pipeline."""
+        self.layers.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,74 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.utils.seeding import new_rng
+
+
+class Conv2d(Module):
+    """2-D cross-correlation with learnable filters.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size, stride, padding:
+        Int or ``(h, w)`` pairs; semantics match
+        :func:`repro.tensor.functional.conv2d`.
+    bias:
+        Whether to learn per-output-channel biases.
+    rng:
+        Seed or generator for Kaiming-uniform weight init.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] = 0,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        generator = new_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kh, kw), generator, gain=1.0)
+        )
+        if bias:
+            fan_in = in_channels * kh * kw
+            bound = 1.0 / math.sqrt(fan_in)
+            self.bias: Parameter | None = Parameter(
+                generator.uniform(-bound, bound, size=out_channels)
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self._as_tensor(x)
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}->{self.out_channels}, "
+            f"kernel={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None})"
+        )

@@ -1,0 +1,31 @@
+"""Dropout regularisation layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.utils.seeding import new_rng
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode.
+
+    The layer owns its generator so repeated forward passes draw fresh
+    masks while the overall sequence stays reproducible from the seed.
+    """
+
+    def __init__(self, p: float = 0.5, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(self._as_tensor(x), self.p, self._rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,20 @@
+"""Flatten layer."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class Flatten(Module):
+    """Flatten all dimensions from ``start_dim`` onward (default: keep batch)."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._as_tensor(x).flatten(self.start_dim)
+
+    def __repr__(self) -> str:
+        return f"Flatten(start_dim={self.start_dim})"

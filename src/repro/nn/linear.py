@@ -1,0 +1,71 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.tensor.tensor import Tensor
+from repro.utils.seeding import new_rng
+
+
+class Linear(Module):
+    """Affine transform ``y = x @ W.T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    bias:
+        Whether to learn an additive bias (default ``True``).
+    rng:
+        Seed or generator for weight initialisation (Kaiming uniform, the
+        PyTorch default for linear layers).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        generator = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), generator, gain=1.0)
+        )
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias: Parameter | None = Parameter(
+                generator.uniform(-bound, bound, size=out_features)
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self._as_tensor(x)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Linear({self.in_features}->{self.out_features}) got input "
+                f"shape {x.shape}"
+            )
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

@@ -1,0 +1,42 @@
+"""Loss modules wrapping :mod:`repro.tensor.functional`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer labels (expects raw logits)."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+
+class NLLLoss(Module):
+    """Negative log-likelihood over log-probabilities."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, log_probs: Tensor, targets: np.ndarray) -> Tensor:
+        return F.nll_loss(log_probs, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+        return F.mse_loss(prediction, target, reduction=self.reduction)

@@ -1,0 +1,23 @@
+"""Trainable parameter tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is trainable by construction.
+
+    Modules register attributes of this type automatically; optimizers
+    iterate over them via :meth:`repro.nn.module.Module.parameters`.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, data: object, dtype: np.dtype | None = None) -> None:
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, dtype={self.data.dtype})"

@@ -1,0 +1,45 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class MaxPool2d(Module):
+    """Max pooling; stride defaults to the kernel size."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(self._as_tensor(x), self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel={self.kernel_size}, stride={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling; stride defaults to the kernel size."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(self._as_tensor(x), self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(kernel={self.kernel_size}, stride={self.stride})"

@@ -1,0 +1,16 @@
+"""First-order optimizers and learning-rate schedulers."""
+
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lr_scheduler import CosineAnnealingLR, ExponentialLR, StepLR
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "CosineAnnealingLR",
+    "ExponentialLR",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+]

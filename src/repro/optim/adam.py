@@ -1,0 +1,85 @@
+"""Adam and AdamW optimizers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias-corrected moment estimates.
+
+    ``weight_decay`` here is the classic L2-penalty formulation (added to
+    the gradient); use :class:`AdamW` for decoupled decay.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.betas = (beta1, beta2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: list[np.ndarray | None] = [None] * len(self.parameters)
+        self._v: list[np.ndarray | None] = [None] * len(self.parameters)
+
+    def _decayed_gradient(self, parameter: Parameter) -> np.ndarray:
+        grad = parameter.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        return grad
+
+    def _apply_decoupled_decay(self, parameter: Parameter) -> None:
+        """Hook for AdamW; no-op for classic Adam."""
+
+    def step(self) -> None:
+        """Apply one Adam update to every parameter with a gradient."""
+        super().step()
+        beta1, beta2 = self.betas
+        t = self.step_count
+        bias1 = 1.0 - beta1**t
+        bias2 = 1.0 - beta2**t
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            grad = self._decayed_gradient(parameter)
+            m = self._m[index]
+            v = self._v[index]
+            if m is None:
+                m = np.zeros_like(parameter.data)
+                v = np.zeros_like(parameter.data)
+            m = beta1 * m + (1.0 - beta1) * grad
+            v = beta2 * v + (1.0 - beta2) * (grad * grad)
+            self._m[index] = m
+            self._v[index] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            self._apply_decoupled_decay(parameter)
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _decayed_gradient(self, parameter: Parameter) -> np.ndarray:
+        return parameter.grad
+
+    def _apply_decoupled_decay(self, parameter: Parameter) -> None:
+        if self.weight_decay:
+            parameter.data = parameter.data * (1.0 - self.lr * self.weight_decay)

@@ -1,0 +1,73 @@
+"""Learning-rate schedulers.
+
+Schedulers mutate ``optimizer.lr`` when :meth:`step` is called once per
+epoch.  The base learning rate is captured at construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+
+class _Scheduler:
+    """Shared bookkeeping: epoch counter and base LR capture."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def compute_lr(self, epoch: int) -> float:
+        """Return the learning rate for ``epoch``; subclasses override."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.compute_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(_Scheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(_Scheduler):
+    """Multiply the LR by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def compute_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + (self.base_lr - self.eta_min) * 0.5 * (
+            1.0 + math.cos(math.pi * progress)
+        )

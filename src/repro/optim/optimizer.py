@@ -1,0 +1,38 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the learning rate.
+
+    Subclasses implement :meth:`step`, reading ``param.grad`` and updating
+    ``param.data`` in place.  Updates never build autograd graphs.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        """Number of completed :meth:`step` calls."""
+        return self._step_count
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update; subclasses must override and call super()."""
+        self._step_count += 1

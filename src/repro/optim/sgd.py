@@ -1,0 +1,67 @@
+"""Stochastic gradient descent with momentum."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum, Nesterov acceleration and weight decay.
+
+    Follows the PyTorch update rule:
+
+    .. code-block:: text
+
+        g   = grad + weight_decay * w
+        buf = momentum * buf + g
+        w  -= lr * (g + momentum * buf)      # nesterov
+        w  -= lr * buf                       # classic momentum
+        w  -= lr * g                         # plain SGD
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._buffers: list[np.ndarray | None] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        """Apply one SGD update to every parameter with a gradient."""
+        super().step()
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                buffer = self._buffers[index]
+                if buffer is None:
+                    buffer = grad.astype(parameter.data.dtype, copy=True)
+                else:
+                    buffer *= self.momentum
+                    buffer += grad
+                self._buffers[index] = buffer
+                update = grad + self.momentum * buffer if self.nesterov else buffer
+            else:
+                update = grad
+            parameter.data = parameter.data - self.lr * update

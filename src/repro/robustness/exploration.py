@@ -1,0 +1,146 @@
+"""Algorithm 1: the grid exploration driver.
+
+Pseudo-code of the paper (Algorithm 1) and its mapping here:
+
+.. code-block:: text
+
+    for i in 1..n:                      # v_thresholds        (run loop)
+      for j in 1..m:                    # time_windows        (run loop)
+        Train(Sij)                      # learnability.train_and_score
+        if Accuracy(Sij) >= Ath:        # LearnabilityResult.learnable
+          for k in 1..p:                # epsilons
+            X* = PGD(Sij, eps_k, Xt)    # attacks.pgd via config.build_attack
+            Robustness(eps_k) = 1 - Adv/|D|   # attacks.metrics
+
+Every grid cell derives independent child seeds for model initialisation,
+training shuffling and attack randomness from the root seed, so cells are
+reproducible in isolation and independent of evaluation order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import replace
+
+from repro.data.dataset import ArrayDataset
+from repro.errors import ExplorationError
+from repro.nn.module import Module
+from repro.robustness.config import ExplorationConfig
+from repro.robustness.learnability import train_and_score
+from repro.robustness.results import CellResult, ExplorationResult
+from repro.robustness.security import robustness_curve
+from repro.utils.logging import get_logger
+from repro.utils.seeding import SeedSequence
+
+__all__ = ["RobustnessExplorer"]
+
+_logger = get_logger("robustness")
+
+ModelFactory = Callable[[float, int, int], Module]
+"""``(v_th, time_window, seed) -> model`` builder used per grid cell."""
+
+
+class RobustnessExplorer:
+    """Runs Algorithm 1 over the configured ``(Vth, T)`` grid.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable ``(v_th, time_window, seed) -> Module`` producing a fresh,
+        untrained model per cell (e.g. a lambda around
+        :func:`repro.models.spiking_lenet.build_spiking_lenet_mini`).
+    train_set, test_set:
+        Datasets for the Train() step and the security analysis.
+    config:
+        Grid, gate and attack settings.
+    """
+
+    def __init__(
+        self,
+        model_factory: ModelFactory,
+        train_set: ArrayDataset,
+        test_set: ArrayDataset,
+        config: ExplorationConfig | None = None,
+    ) -> None:
+        self.model_factory = model_factory
+        self.train_set = train_set
+        self.test_set = test_set
+        self.config = config or ExplorationConfig()
+        self.config.validate()
+        if len(train_set) == 0 or len(test_set) == 0:
+            raise ExplorationError("train and test sets must be non-empty")
+        self._seeds = SeedSequence(self.config.seed)
+
+    # -- single cell ------------------------------------------------------------
+
+    def explore_cell(self, v_th: float, time_window: int) -> CellResult:
+        """Run learnability + security analysis for one combination."""
+        cell_seed = self._seeds.child_seed("cell", v_th, time_window)
+        model = self.model_factory(v_th, time_window, cell_seed)
+        training = replace(self.config.training, seed=cell_seed & 0x7FFFFFFF)
+        learn = train_and_score(
+            model,
+            self.train_set,
+            self.test_set,
+            training,
+            self.config.accuracy_threshold,
+        )
+        robustness: dict[float, float] = {}
+        if learn.learnable:
+            attack_seed = self._seeds.child_seed("attack", v_th, time_window)
+            curve = robustness_curve(
+                model,
+                self.test_set,
+                self.config.epsilons,
+                lambda eps: self.config.build_attack(eps, seed=attack_seed),
+                label=f"(Vth={v_th:g}, T={time_window})",
+                batch_size=self.config.attack_batch_size,
+            )
+            robustness = dict(zip(curve.epsilons, curve.robustness))
+        return CellResult(
+            v_th=float(v_th),
+            time_window=int(time_window),
+            clean_accuracy=learn.clean_accuracy,
+            learnable=learn.learnable,
+            diverged=learn.diverged,
+            robustness=robustness,
+        )
+
+    # -- full grid -----------------------------------------------------------------
+
+    def run(self, verbose: bool = False) -> ExplorationResult:
+        """Execute the full grid exploration and collect results."""
+        cells: list[CellResult] = []
+        total = len(self.config.v_thresholds) * len(self.config.time_windows)
+        done = 0
+        for v_th in self.config.v_thresholds:
+            for time_window in self.config.time_windows:
+                cell = self.explore_cell(v_th, time_window)
+                cells.append(cell)
+                done += 1
+                if verbose:
+                    status = "learnable" if cell.learnable else "rejected"
+                    _logger.info(
+                        "[%d/%d] Vth=%g T=%d acc=%.3f %s %s",
+                        done,
+                        total,
+                        v_th,
+                        time_window,
+                        cell.clean_accuracy,
+                        status,
+                        {e: round(r, 3) for e, r in cell.robustness.items()},
+                    )
+        return ExplorationResult(
+            v_thresholds=self.config.v_thresholds,
+            time_windows=self.config.time_windows,
+            cells=cells,
+            metadata={
+                "attack": self.config.attack,
+                "attack_steps": self.config.attack_steps,
+                "epsilons": list(self.config.epsilons),
+                "accuracy_threshold": self.config.accuracy_threshold,
+                "seed": self.config.seed,
+                "num_train": len(self.train_set),
+                "num_test": len(self.test_set),
+            },
+        )

@@ -1,0 +1,64 @@
+"""Learnability study (Algorithm 1, lines 3-4).
+
+Trains one ``(Vth, T)`` instantiation and checks whether it clears the
+baseline-accuracy gate ``Ath``.  "There is indeed no interest in studying
+the robustness of SNNs with low baseline performance" (paper §V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import ArrayDataset
+from repro.errors import TrainingError
+from repro.nn.module import Module
+from repro.training.trainer import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = ["LearnabilityResult", "train_and_score"]
+
+
+@dataclass(frozen=True)
+class LearnabilityResult:
+    """Outcome of training one grid cell."""
+
+    clean_accuracy: float
+    """Test accuracy after training (the heat-map value of paper Fig. 6)."""
+
+    learnable: bool
+    """Whether ``clean_accuracy >= Ath``."""
+
+    diverged: bool
+    """True when training aborted on a non-finite loss."""
+
+    history: TrainingHistory
+    """Per-epoch training record."""
+
+
+def train_and_score(
+    model: Module,
+    train_set: ArrayDataset,
+    test_set: ArrayDataset,
+    training_config: TrainingConfig,
+    accuracy_threshold: float,
+) -> LearnabilityResult:
+    """Train ``model`` and evaluate the learnability gate.
+
+    A diverged run (non-finite loss) is treated as non-learnable with zero
+    accuracy rather than an error: the paper's heat map (Fig. 6) includes
+    such failed cells as low-accuracy entries.
+    """
+    trainer = Trainer(model, training_config)
+    try:
+        history = trainer.fit(train_set)
+        clean_accuracy = trainer.evaluate(test_set)
+        diverged = False
+    except TrainingError:
+        history = trainer.history
+        clean_accuracy = 0.0
+        diverged = True
+    return LearnabilityResult(
+        clean_accuracy=clean_accuracy,
+        learnable=clean_accuracy >= accuracy_threshold,
+        diverged=diverged,
+        history=history,
+    )

@@ -1,0 +1,93 @@
+"""Plain-text rendering of heat maps and robustness curves.
+
+The benchmarks print these tables — they are the textual equivalents of
+the paper's Figures 6-9 (this environment has no plotting stack).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["render_curve_table", "render_heatmap", "render_sparkline"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    grid: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str = "",
+    row_axis: str = "T",
+    col_axis: str = "Vth",
+    as_percent: bool = True,
+) -> str:
+    """Render a 2-D array as an aligned text table with shade glyphs.
+
+    NaN cells (non-learnable combinations excluded from the security
+    study) render as ``--``.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ValueError(f"expected a 2-d grid, got shape {grid.shape}")
+    if grid.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"grid shape {grid.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    cell_width = 7
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " " * 6 + "".join(f"{label:>{cell_width}}" for label in col_labels)
+    lines.append(header)
+    for row_index, row_label in enumerate(row_labels):
+        cells = []
+        for value in grid[row_index]:
+            if np.isnan(value):
+                cells.append(f"{'--':>{cell_width}}")
+            else:
+                shown = value * 100.0 if as_percent else value
+                shade = _SHADES[min(9, max(0, int(np.nan_to_num(value) * 9.99)))]
+                cells.append(f"{shown:>5.0f}{shade} ")
+        lines.append(f"{row_label:>5} " + "".join(cells))
+    lines.append(f"rows: {row_axis} (descending), cols: {col_axis}")
+    return "\n".join(lines)
+
+
+def render_curve_table(
+    epsilons: Sequence[float],
+    curves: dict[str, Sequence[float]],
+    title: str = "",
+    as_percent: bool = True,
+) -> str:
+    """Render robustness-vs-epsilon series side by side (paper Fig. 1/9).
+
+    ``curves`` maps a series label to its robustness values, aligned with
+    ``epsilons``.
+    """
+    for label, values in curves.items():
+        if len(values) != len(epsilons):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(epsilons)} epsilons"
+            )
+    label_width = max(12, max((len(label) for label in curves), default=12) + 2)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'epsilon':>{label_width}}" + "".join(f"{e:>8.2f}" for e in epsilons)
+    lines.append(header)
+    for label, values in curves.items():
+        shown = [v * 100.0 if as_percent else v for v in values]
+        lines.append(f"{label:>{label_width}}" + "".join(f"{v:>8.1f}" for v in shown))
+    return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float]) -> str:
+    """One-line shade strip for a sequence of values in [0, 1]."""
+    return "".join(
+        _SHADES[min(9, max(0, int(np.nan_to_num(v) * 9.99)))] for v in values
+    )

@@ -1,0 +1,134 @@
+"""Trustworthy-SNN design: selecting structural parameters (paper §VI-C).
+
+The output of the paper's methodology is a *design recommendation*: pick
+`(Vth, T)` combinations that are robust sweet spots.  This module turns a
+finished :class:`~repro.robustness.results.ExplorationResult` into such
+recommendations:
+
+* :func:`select_sweet_spots` — the paper's rule: among combinations that
+  clear the accuracy gate, rank by robustness at a target budget;
+* :func:`pareto_front` — the accuracy/robustness Pareto-optimal set, for
+  when the designer wants the full trade-off curve rather than one point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExplorationError
+from repro.robustness.results import CellResult, ExplorationResult
+
+__all__ = ["DesignRecommendation", "pareto_front", "select_sweet_spots"]
+
+
+@dataclass(frozen=True)
+class DesignRecommendation:
+    """One recommended `(Vth, T)` operating point."""
+
+    v_th: float
+    time_window: int
+    clean_accuracy: float
+    robustness: float
+    epsilon: float
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"(Vth={self.v_th:g}, T={self.time_window}): "
+            f"clean={self.clean_accuracy * 100:.1f}%, "
+            f"robustness@eps={self.epsilon:g}={self.robustness * 100:.1f}%"
+        )
+
+
+def _evaluated_cells(result: ExplorationResult, epsilon: float) -> list[CellResult]:
+    eps = float(epsilon)
+    cells = [c for c in result.cells if c.learnable and eps in c.robustness]
+    if not cells:
+        raise ExplorationError(
+            f"no learnable cell was evaluated at epsilon={epsilon}; "
+            f"run the exploration with this budget first"
+        )
+    return cells
+
+
+def select_sweet_spots(
+    result: ExplorationResult,
+    epsilon: float,
+    top_k: int = 3,
+    min_accuracy: float | None = None,
+) -> list[DesignRecommendation]:
+    """Rank learnable combinations by robustness at ``epsilon``.
+
+    Parameters
+    ----------
+    result:
+        A completed grid exploration.
+    epsilon:
+        Target attack budget the deployment must survive.
+    top_k:
+        Number of recommendations to return (fewer if the grid is small).
+    min_accuracy:
+        Optional extra clean-accuracy floor on top of the exploration's
+        own learnability gate.
+
+    Ties are broken in favour of higher clean accuracy.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    eps = float(epsilon)
+    cells = _evaluated_cells(result, eps)
+    if min_accuracy is not None:
+        cells = [c for c in cells if c.clean_accuracy >= min_accuracy]
+        if not cells:
+            raise ExplorationError(
+                f"no evaluated cell reaches clean accuracy {min_accuracy}"
+            )
+    ranked = sorted(
+        cells, key=lambda c: (c.robustness[eps], c.clean_accuracy), reverse=True
+    )
+    return [
+        DesignRecommendation(
+            v_th=c.v_th,
+            time_window=c.time_window,
+            clean_accuracy=c.clean_accuracy,
+            robustness=c.robustness[eps],
+            epsilon=eps,
+        )
+        for c in ranked[:top_k]
+    ]
+
+
+def pareto_front(result: ExplorationResult, epsilon: float) -> list[DesignRecommendation]:
+    """Accuracy/robustness Pareto-optimal combinations at ``epsilon``.
+
+    A cell is on the front if no other cell is at least as good in both
+    clean accuracy and robustness and strictly better in one.  The front
+    is returned sorted by descending robustness.
+    """
+    eps = float(epsilon)
+    cells = _evaluated_cells(result, eps)
+    front: list[CellResult] = []
+    for cell in cells:
+        dominated = any(
+            other is not cell
+            and other.clean_accuracy >= cell.clean_accuracy
+            and other.robustness[eps] >= cell.robustness[eps]
+            and (
+                other.clean_accuracy > cell.clean_accuracy
+                or other.robustness[eps] > cell.robustness[eps]
+            )
+            for other in cells
+        )
+        if not dominated:
+            front.append(cell)
+    front.sort(key=lambda c: c.robustness[eps], reverse=True)
+    return [
+        DesignRecommendation(
+            v_th=c.v_th,
+            time_window=c.time_window,
+            clean_accuracy=c.clean_accuracy,
+            robustness=c.robustness[eps],
+            epsilon=eps,
+        )
+        for c in front
+    ]

@@ -1,0 +1,62 @@
+"""Decoders: readout traces over time to class logits.
+
+Each decoder is a callable ``(list[Tensor]) -> Tensor`` reducing the
+per-step readout tensors ``(N, num_classes)`` into logits ``(N,
+num_classes)``.  The default throughout the reproduction is
+:class:`MaxMembraneDecoder` (max over time of the leaky-integrator
+membrane), matching the Norse MNIST pipeline the paper built on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, stack
+
+__all__ = [
+    "LastMembraneDecoder",
+    "MaxMembraneDecoder",
+    "MeanMembraneDecoder",
+    "SpikeCountDecoder",
+]
+
+
+class _TraceDecoder(Module):
+    """Shared input validation for trace decoders."""
+
+    @staticmethod
+    def _stacked(trace: Sequence[Tensor]) -> Tensor:
+        if not trace:
+            raise ValueError("decoder received an empty trace")
+        return stack(list(trace), axis=0)  # (T, N, C)
+
+
+class MaxMembraneDecoder(_TraceDecoder):
+    """Logit = maximum membrane value over the time window."""
+
+    def forward(self, trace: Sequence[Tensor]) -> Tensor:
+        return self._stacked(trace).max(axis=0)
+
+
+class MeanMembraneDecoder(_TraceDecoder):
+    """Logit = time-averaged membrane value."""
+
+    def forward(self, trace: Sequence[Tensor]) -> Tensor:
+        return self._stacked(trace).mean(axis=0)
+
+
+class LastMembraneDecoder(_TraceDecoder):
+    """Logit = membrane value at the final step."""
+
+    def forward(self, trace: Sequence[Tensor]) -> Tensor:
+        if not trace:
+            raise ValueError("decoder received an empty trace")
+        return trace[-1]
+
+
+class SpikeCountDecoder(_TraceDecoder):
+    """Logit = total spike count per output unit (for spiking readouts)."""
+
+    def forward(self, trace: Sequence[Tensor]) -> Tensor:
+        return self._stacked(trace).sum(axis=0)

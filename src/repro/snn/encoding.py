@@ -1,0 +1,158 @@
+"""Input encoders: static images to spike trains.
+
+The paper's pipeline (built on Norse) presents the image for ``T`` steps
+through a **constant-current LIF encoder**: each pixel intensity is a
+constant injected current driving a LIF neuron whose spikes feed the first
+synaptic layer.  This is differentiable end-to-end through the surrogate
+gradient — a requirement of the white-box threat model, where the attacker
+back-propagates to the pixels.
+
+Two alternative encoders are provided for the encoding ablation:
+
+* :class:`PoissonEncoder` — classic rate coding; per-step Bernoulli spikes
+  with probability proportional to intensity.  The backward pass uses the
+  straight-through expectation gradient ``dE[z]/dx = scale``.
+* :class:`LatencyEncoder` — time-to-first-spike coding; brighter pixels
+  spike earlier, one spike per pixel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.snn.neuron import LIFCell, LIFParameters, LIFState
+from repro.tensor.tensor import Tensor, apply_op
+from repro.utils.seeding import new_rng
+
+__all__ = ["ConstantCurrentLIFEncoder", "LatencyEncoder", "PoissonEncoder"]
+
+
+class ConstantCurrentLIFEncoder(Module):
+    """Encode intensities as spikes of a LIF population driven by them.
+
+    Parameters
+    ----------
+    params:
+        LIF parameters of the encoder population.  When the robustness
+        exploration varies ``v_th``, the encoder's threshold is varied too
+        (the attacker has white-box knowledge of it); pass a fixed
+        ``params`` to pin it instead.
+    input_scale:
+        Multiplier applied to pixel intensities before injection.  With the
+        default LIF constants, a pixel ``x`` drives the encoder membrane
+        towards ``5 * input_scale * x`` at steady state, so the default of
+        2.0 lets mid-intensity pixels cross thresholds up to ~2.25 within a
+        few steps — covering the paper's explored ``Vth`` range.
+    """
+
+    def __init__(self, params: LIFParameters | None = None, input_scale: float = 2.0) -> None:
+        super().__init__()
+        if input_scale <= 0:
+            raise ValueError(f"input_scale must be positive, got {input_scale}")
+        self.cell = LIFCell(params)
+        self.input_scale = input_scale
+
+    def step(self, image: Tensor, state: LIFState | None = None) -> tuple[Tensor, LIFState]:
+        """Advance the encoder population one step for (static) ``image``."""
+        return self.cell.step(image * self.input_scale, state)
+
+    def encode(self, image: Tensor, time_steps: int) -> list[Tensor]:
+        """Unroll :meth:`step` for ``time_steps`` and collect spike tensors."""
+        state: LIFState | None = None
+        spikes: list[Tensor] = []
+        for _ in range(time_steps):
+            z, state = self.step(image, state)
+            spikes.append(z)
+        return spikes
+
+    def forward(self, image: Tensor, time_steps: int) -> list[Tensor]:
+        return self.encode(image, time_steps)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstantCurrentLIFEncoder(v_th={self.cell.params.v_th}, "
+            f"input_scale={self.input_scale})"
+        )
+
+
+class PoissonEncoder(Module):
+    """Bernoulli/Poisson rate coding with a straight-through gradient.
+
+    At every step each pixel spikes independently with probability
+    ``clip(scale * x, 0, 1)``.  The backward pass propagates the gradient
+    of the *expected* spike count, which is the standard estimator used
+    when attacking rate-coded SNNs.
+    """
+
+    def __init__(self, scale: float = 0.5, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self._rng = new_rng(rng)
+
+    def step(self, image: Tensor, state: object | None = None) -> tuple[Tensor, None]:
+        """Draw one Bernoulli spike frame (state is unused; kept for API)."""
+        probability = np.clip(self.scale * image.data, 0.0, 1.0)
+        sample = (self._rng.random(image.shape) < probability).astype(image.dtype)
+        # Straight-through: forward is the random sample, backward is the
+        # derivative of the expectation (scale inside the clip's active region).
+        active = ((self.scale * image.data) > 0.0) & ((self.scale * image.data) < 1.0)
+        derivative = self.scale * active.astype(image.dtype)
+
+        def backward(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
+            return (g * derivative,)
+
+        return apply_op(sample, (image,), backward, "poisson_encode"), None
+
+    def encode(self, image: Tensor, time_steps: int) -> list[Tensor]:
+        """Draw ``time_steps`` independent spike frames."""
+        return [self.step(image)[0] for _ in range(time_steps)]
+
+    def forward(self, image: Tensor, time_steps: int) -> list[Tensor]:
+        return self.encode(image, time_steps)
+
+    def __repr__(self) -> str:
+        return f"PoissonEncoder(scale={self.scale})"
+
+
+class LatencyEncoder(Module):
+    """Time-to-first-spike coding: pixel ``x`` spikes once at step
+    ``floor((1 - x) * (T - 1))`` (brighter = earlier); pixels below
+    ``threshold`` never spike.
+
+    The straight-through backward pass routes the gradient of each emitted
+    spike back to its pixel, which makes latency-coded models attackable
+    with the same gradient machinery (gradients are sparser than for rate
+    codes, mirroring the robustness observations of Sharmin et al.).
+    """
+
+    def __init__(self, threshold: float = 0.05) -> None:
+        super().__init__()
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+        self.threshold = threshold
+
+    def encode(self, image: Tensor, time_steps: int) -> list[Tensor]:
+        """Emit the full spike train for ``time_steps`` steps."""
+        if time_steps < 1:
+            raise ValueError(f"time_steps must be >= 1, got {time_steps}")
+        x = image.data
+        alive = x >= self.threshold
+        spike_step = np.floor((1.0 - np.clip(x, 0.0, 1.0)) * (time_steps - 1)).astype(np.int64)
+        frames: list[Tensor] = []
+        for t in range(time_steps):
+            mask = (alive & (spike_step == t)).astype(x.dtype)
+
+            def backward(g: np.ndarray, mask: np.ndarray = mask) -> tuple[np.ndarray | None, ...]:
+                return (g * mask,)
+
+            frames.append(apply_op(mask.copy(), (image,), backward, "latency_encode"))
+        return frames
+
+    def forward(self, image: Tensor, time_steps: int) -> list[Tensor]:
+        return self.encode(image, time_steps)
+
+    def __repr__(self) -> str:
+        return f"LatencyEncoder(threshold={self.threshold})"

@@ -1,0 +1,198 @@
+"""Time-unrolled spiking classifier.
+
+:class:`SpikingNetwork` is the spiking counterpart of a feed-forward CNN:
+an encoder turns the static image into a spike train, a stack of
+:class:`SpikingLayer` stages (synaptic transform + LIF population)
+propagates spikes, and a :class:`SpikingReadout` (affine transform + leaky
+integrator) produces a membrane trace that a decoder reduces to logits.
+
+The class exposes the paper's two structural parameters directly:
+
+* ``network.time_steps`` — the time window ``T``;
+* ``network.set_v_th(vth)`` — the firing threshold of every LIF
+  population (encoder included unless it was constructed with
+  ``vary_encoder_threshold=False``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.nn.container import ModuleList
+from repro.nn.module import Module
+from repro.snn.decoding import MaxMembraneDecoder
+from repro.snn.encoding import ConstantCurrentLIFEncoder
+from repro.snn.neuron import LICell, LIFCell, LIFParameters
+from repro.tensor.tensor import Tensor
+
+__all__ = ["SpikingLayer", "SpikingNetwork", "SpikingReadout"]
+
+
+class SpikingLayer(Module):
+    """One stage of a spiking network: synaptic transform + LIF population.
+
+    ``transform`` is any differentiable module mapping spike tensors to
+    synaptic currents (``Conv2d``, ``Linear``, pooling, ``Flatten``, or a
+    ``Sequential`` of those).
+    """
+
+    def __init__(self, transform: Module, cell: LIFCell) -> None:
+        super().__init__()
+        self.transform = transform
+        self.cell = cell
+
+    def step(self, spikes: Tensor, state):
+        """Advance one time step; returns ``(out_spikes, new_state)``."""
+        current = self.transform(spikes)
+        return self.cell.step(current, state)
+
+    def forward(self, spikes: Tensor, state=None):
+        return self.step(spikes, state)
+
+
+class SpikingReadout(Module):
+    """Readout stage: affine transform into a non-spiking leaky integrator."""
+
+    def __init__(self, transform: Module, cell: LICell) -> None:
+        super().__init__()
+        self.transform = transform
+        self.cell = cell
+
+    def step(self, spikes: Tensor, state):
+        """Advance one time step; returns ``(membrane, new_state)``."""
+        current = self.transform(spikes)
+        return self.cell.step(current, state)
+
+    def forward(self, spikes: Tensor, state=None):
+        return self.step(spikes, state)
+
+
+class SpikingNetwork(Module):
+    """Feed-forward SNN classifier unrolled over ``time_steps``.
+
+    Parameters
+    ----------
+    encoder:
+        Module with a ``step(image, state) -> (spikes, state)`` method
+        (e.g. :class:`~repro.snn.encoding.ConstantCurrentLIFEncoder`).
+    layers:
+        Sequence of :class:`SpikingLayer`.
+    readout:
+        Final :class:`SpikingReadout`.
+    time_steps:
+        The paper's time-window parameter ``T``.
+    decoder:
+        Trace decoder; defaults to max-over-time membrane.
+    vary_encoder_threshold:
+        Whether :meth:`set_v_th` also retunes the encoder population
+        (default ``True`` — the white-box attacker knows all thresholds,
+        and the paper varies the *inherent* structural parameters of the
+        whole network).
+    """
+
+    def __init__(
+        self,
+        encoder: Module,
+        layers: Sequence[SpikingLayer],
+        readout: SpikingReadout,
+        time_steps: int = 32,
+        decoder: Module | None = None,
+        vary_encoder_threshold: bool = True,
+    ) -> None:
+        super().__init__()
+        if time_steps < 1:
+            raise ValueError(f"time_steps must be >= 1, got {time_steps}")
+        self.encoder = encoder
+        self.layers = ModuleList(list(layers))
+        self.readout = readout
+        self.time_steps = int(time_steps)
+        self.decoder = decoder or MaxMembraneDecoder()
+        self.vary_encoder_threshold = vary_encoder_threshold
+
+    # -- structural parameters ------------------------------------------------
+
+    def set_time_steps(self, time_steps: int) -> "SpikingNetwork":
+        """Set the time window ``T``; returns self."""
+        if time_steps < 1:
+            raise ValueError(f"time_steps must be >= 1, got {time_steps}")
+        self.time_steps = int(time_steps)
+        return self
+
+    def set_v_th(self, v_th: float) -> "SpikingNetwork":
+        """Set the firing threshold of every LIF population; returns self.
+
+        Applies to hidden layers always, and to the encoder population when
+        ``vary_encoder_threshold`` is set.  The readout integrator has no
+        threshold.
+        """
+        for layer in self.layers:
+            layer.cell.params = layer.cell.params.with_v_th(v_th)
+        if self.vary_encoder_threshold and isinstance(self.encoder, ConstantCurrentLIFEncoder):
+            self.encoder.cell.params = self.encoder.cell.params.with_v_th(v_th)
+        return self
+
+    @property
+    def v_th(self) -> float:
+        """Current firing threshold of the hidden LIF populations."""
+        return self.layers[0].cell.params.v_th
+
+    # -- simulation -----------------------------------------------------------
+
+    def forward(self, image: Tensor) -> Tensor:
+        """Simulate ``time_steps`` steps and decode logits ``(N, C)``."""
+        image = self._as_tensor(image)
+        encoder_state = None
+        layer_states: list = [None] * len(self.layers)
+        readout_state = None
+        trace: list[Tensor] = []
+        for _ in range(self.time_steps):
+            spikes, encoder_state = self.encoder.step(image, encoder_state)
+            for index, layer in enumerate(self.layers):
+                spikes, layer_states[index] = layer.step(spikes, layer_states[index])
+            membrane, readout_state = self.readout.step(spikes, readout_state)
+            trace.append(membrane)
+        return self.decoder(trace)
+
+    def spike_counts(self, image: Tensor) -> list[Tensor]:
+        """Diagnostic: per-layer total spike counts for one forward pass.
+
+        Returns one scalar tensor per spiking layer (encoder first).  Used
+        by the activity analyses and tests; does not build gradients.
+        """
+        from repro.tensor.tensor import no_grad
+
+        counts: list[Tensor] = []
+        with no_grad():
+            image = self._as_tensor(image)
+            encoder_state = None
+            layer_states: list = [None] * len(self.layers)
+            totals = [0.0] * (1 + len(self.layers))
+            for _ in range(self.time_steps):
+                spikes, encoder_state = self.encoder.step(image, encoder_state)
+                totals[0] += float(spikes.data.sum())
+                for index, layer in enumerate(self.layers):
+                    spikes, layer_states[index] = layer.step(spikes, layer_states[index])
+                    totals[index + 1] += float(spikes.data.sum())
+            counts = [Tensor(total) for total in totals]
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"SpikingNetwork(T={self.time_steps}, v_th={self.v_th}, "
+            f"layers={len(self.layers)})"
+        )
+
+
+def default_lif_parameters(
+    v_th: float = 1.0,
+    surrogate: str = "superspike",
+    surrogate_alpha: float = 100.0,
+    reset_mode: str = "hard",
+) -> LIFParameters:
+    """LIF parameters used by the reproduction's standard models."""
+    return LIFParameters(
+        v_th=v_th,
+        surrogate=surrogate,
+        surrogate_alpha=surrogate_alpha,
+        reset_mode=reset_mode,
+    )

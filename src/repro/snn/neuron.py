@@ -1,0 +1,215 @@
+"""Discrete-time leaky-integrate-and-fire neuron models.
+
+The dynamics follow Norse's feed-forward LIF cell (explicit Euler):
+
+.. code-block:: text
+
+    v_decayed = v + dt * tau_mem_inv * ((v_leak - v) + i)
+    i_decayed = i + dt * (-tau_syn_inv) * i
+    z         = H(v_decayed - v_th)              # surrogate gradient
+    v_new     = reset(v_decayed, z)
+    i_new     = i_decayed + input_current
+
+Two reset conventions are provided:
+
+* ``"hard"`` (Norse default): ``v_new = (1 - z) * v_decayed + z * v_reset``
+* ``"soft"``: ``v_new = v_decayed - z * (v_th - v_reset)`` (subtractive)
+
+The readout :class:`LICell` integrates without spiking and exposes its
+membrane trace, which the decoders turn into class scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.snn.surrogate import available_surrogates, spike_function
+from repro.tensor.tensor import Tensor
+
+__all__ = ["LICell", "LIFCell", "LIFParameters", "LIFState", "LIState"]
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """Structural and dynamical parameters of a LIF population.
+
+    ``v_th`` and (together with :attr:`repro.snn.network.SpikingNetwork.
+    time_steps`) the simulation window are the two *structural parameters*
+    whose robustness impact the paper studies.
+    """
+
+    tau_syn_inv: float = 200.0
+    """Inverse synaptic time constant (1/s)."""
+
+    tau_mem_inv: float = 100.0
+    """Inverse membrane time constant (1/s); sets the leak rate."""
+
+    v_th: float = 1.0
+    """Firing threshold voltage (the paper's ``Vth``)."""
+
+    v_leak: float = 0.0
+    """Leak (resting) potential the membrane decays towards."""
+
+    v_reset: float = 0.0
+    """Potential the membrane is reset to after a spike."""
+
+    dt: float = 1e-3
+    """Integration time step (s)."""
+
+    reset_mode: str = "hard"
+    """``"hard"`` (reset to v_reset) or ``"soft"`` (subtract threshold)."""
+
+    surrogate: str = "superspike"
+    """Surrogate-gradient family used in the backward pass."""
+
+    surrogate_alpha: float = 100.0
+    """Sharpness of the surrogate gradient (Norse's SuperSpike default).
+
+    This value matters twice: for trainability *and* for the measured
+    robustness — the white-box attacker differentiates the same graph, so
+    a sharp surrogate (large alpha) partially masks attack gradients.
+    With alpha=100 the reproduction recovers the paper's large SNN-vs-CNN
+    robustness gap; with alpha=10 the SNN trains slightly better but loses
+    most of its measured robustness.  ``bench_ablation_surrogate``
+    quantifies this.
+    """
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent values."""
+        if self.v_th <= self.v_reset:
+            raise ConfigurationError(
+                f"v_th ({self.v_th}) must exceed v_reset ({self.v_reset})"
+            )
+        if self.dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {self.dt}")
+        if self.tau_syn_inv <= 0 or self.tau_mem_inv <= 0:
+            raise ConfigurationError("time constants must be positive")
+        if self.dt * self.tau_syn_inv >= 1.0 or self.dt * self.tau_mem_inv >= 1.0:
+            raise ConfigurationError(
+                "dt * tau_inv must stay below 1 for a stable Euler update; "
+                f"got syn={self.dt * self.tau_syn_inv}, mem={self.dt * self.tau_mem_inv}"
+            )
+        if self.reset_mode not in ("hard", "soft"):
+            raise ConfigurationError(f"unknown reset_mode {self.reset_mode!r}")
+        if self.surrogate not in available_surrogates():
+            raise ConfigurationError(f"unknown surrogate {self.surrogate!r}")
+        if self.surrogate_alpha <= 0:
+            raise ConfigurationError("surrogate_alpha must be positive")
+
+    def with_v_th(self, v_th: float) -> "LIFParameters":
+        """Copy with a different threshold (used by the grid exploration)."""
+        return replace(self, v_th=float(v_th))
+
+    @property
+    def membrane_decay(self) -> float:
+        """Per-step membrane retention factor ``1 - dt * tau_mem_inv``."""
+        return 1.0 - self.dt * self.tau_mem_inv
+
+    @property
+    def synaptic_decay(self) -> float:
+        """Per-step synaptic-current retention factor ``1 - dt * tau_syn_inv``."""
+        return 1.0 - self.dt * self.tau_syn_inv
+
+
+@dataclass
+class LIFState:
+    """Recurrent state of a :class:`LIFCell` (synaptic current, membrane)."""
+
+    i: Tensor
+    v: Tensor
+
+
+@dataclass
+class LIState:
+    """Recurrent state of a :class:`LICell`."""
+
+    i: Tensor
+    v: Tensor
+
+
+class LIFCell(Module):
+    """Feed-forward LIF population applied one time step at a time.
+
+    The cell is stateless as a module; callers thread the
+    :class:`LIFState` through the simulation loop, which keeps time
+    unrolling explicit and the autograd graph acyclic.
+    """
+
+    def __init__(self, params: LIFParameters | None = None) -> None:
+        super().__init__()
+        self.params = params or LIFParameters()
+        self.params.validate()
+
+    def initial_state(self, reference: Tensor) -> LIFState:
+        """Zero state shaped like ``reference`` (one synapse/membrane each)."""
+        zeros_i = Tensor(np.zeros_like(reference.data))
+        zeros_v = Tensor(np.zeros_like(reference.data))
+        return LIFState(i=zeros_i, v=zeros_v)
+
+    def step(self, input_current: Tensor, state: LIFState | None = None) -> tuple[Tensor, LIFState]:
+        """Advance one time step; returns ``(spikes, new_state)``."""
+        p = self.params
+        if state is None:
+            state = self.initial_state(input_current)
+        dv = (p.dt * p.tau_mem_inv) * ((p.v_leak - state.v) + state.i)
+        v_decayed = state.v + dv
+        i_decayed = state.i * p.synaptic_decay
+        spikes = spike_function(
+            v_decayed - p.v_th, method=p.surrogate, alpha=p.surrogate_alpha
+        )
+        if p.reset_mode == "hard":
+            v_new = v_decayed * (1.0 - spikes) + p.v_reset * spikes
+        else:
+            v_new = v_decayed - spikes * (p.v_th - p.v_reset)
+        i_new = i_decayed + input_current
+        return spikes, LIFState(i=i_new, v=v_new)
+
+    def forward(self, input_current: Tensor, state: LIFState | None = None):
+        return self.step(input_current, state)
+
+    def __repr__(self) -> str:
+        p = self.params
+        return (
+            f"LIFCell(v_th={p.v_th}, reset={p.reset_mode!r}, "
+            f"surrogate={p.surrogate!r})"
+        )
+
+
+class LICell(Module):
+    """Non-spiking leaky integrator used as the readout population.
+
+    Integrates synaptic input into a membrane trace; decoders reduce the
+    trace over time into logits.  Shares :class:`LIFParameters` for the
+    time constants (threshold fields are ignored).
+    """
+
+    def __init__(self, params: LIFParameters | None = None) -> None:
+        super().__init__()
+        self.params = params or LIFParameters()
+        self.params.validate()
+
+    def initial_state(self, reference: Tensor) -> LIState:
+        """Zero state shaped like ``reference``."""
+        zeros_i = Tensor(np.zeros_like(reference.data))
+        zeros_v = Tensor(np.zeros_like(reference.data))
+        return LIState(i=zeros_i, v=zeros_v)
+
+    def step(self, input_current: Tensor, state: LIState | None = None) -> tuple[Tensor, LIState]:
+        """Advance one step; returns ``(membrane, new_state)``."""
+        p = self.params
+        if state is None:
+            state = self.initial_state(input_current)
+        dv = (p.dt * p.tau_mem_inv) * ((p.v_leak - state.v) + state.i)
+        v_new = state.v + dv
+        i_new = state.i * p.synaptic_decay + input_current
+        return v_new, LIState(i=i_new, v=v_new)
+
+    def forward(self, input_current: Tensor, state: LIState | None = None):
+        return self.step(input_current, state)
+
+    def __repr__(self) -> str:
+        return f"LICell(tau_mem_inv={self.params.tau_mem_inv})"

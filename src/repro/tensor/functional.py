@@ -1,0 +1,334 @@
+"""Composite and structured differentiable operations.
+
+Everything here is built either from :class:`~repro.tensor.tensor.Tensor`
+primitives or registered as a custom op via
+:func:`~repro.tensor.tensor.apply_op` when a fused implementation is needed
+for numerical stability (softmax family) or speed (im2col convolution).
+
+Shapes follow the PyTorch convention:
+
+* images: ``(N, C, H, W)``
+* convolution weights: ``(C_out, C_in, KH, KW)``
+* class scores: ``(N, num_classes)``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor, apply_op
+
+__all__ = [
+    "avg_pool2d",
+    "conv2d",
+    "cross_entropy",
+    "dropout",
+    "log_softmax",
+    "max_pool2d",
+    "mse_loss",
+    "nll_loss",
+    "one_hot",
+    "softmax",
+]
+
+
+# --------------------------------------------------------------------------
+# Softmax family (fused for numerical stability)
+# --------------------------------------------------------------------------
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    softmax_data = np.exp(out_data)
+
+    def backward(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        return (g - softmax_data * g.sum(axis=axis, keepdims=True),)
+
+    return apply_op(out_data, (x,), backward, "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        inner = (g * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (g - inner),)
+
+    return apply_op(out_data, (x,), backward, "softmax")
+
+
+# --------------------------------------------------------------------------
+# Losses
+# --------------------------------------------------------------------------
+
+
+def nll_loss(
+    log_probs: Tensor,
+    targets: np.ndarray,
+    reduction: str = "mean",
+) -> Tensor:
+    """Negative log-likelihood of integer ``targets`` under ``log_probs``.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(N, C)`` log-probabilities (e.g. from :func:`log_softmax`).
+    targets:
+        ``(N,)`` integer class labels.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    targets = np.asarray(targets)
+    if log_probs.ndim != 2:
+        raise ShapeError(f"nll_loss expects (N, C) log-probs, got {log_probs.shape}")
+    if targets.shape != (log_probs.shape[0],):
+        raise ShapeError(
+            f"targets shape {targets.shape} does not match batch {log_probs.shape[0]}"
+        )
+    _check_reduction(reduction)
+    n = log_probs.shape[0]
+    rows = np.arange(n)
+    picked = log_probs.data[rows, targets]
+    if reduction == "none":
+        out_data = -picked
+    elif reduction == "sum":
+        out_data = -picked.sum()
+    else:
+        out_data = -picked.mean()
+
+    def backward(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        grad = np.zeros_like(log_probs.data)
+        if reduction == "none":
+            grad[rows, targets] = -g
+        elif reduction == "sum":
+            grad[rows, targets] = -g
+        else:
+            grad[rows, targets] = -g / n
+        return (grad,)
+
+    return apply_op(np.asarray(out_data, dtype=log_probs.dtype), (log_probs,), backward, "nll")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy between ``logits`` ``(N, C)`` and int labels."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray, reduction: str = "mean") -> Tensor:
+    """Mean/sum/elementwise squared error."""
+    _check_reduction(reduction)
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    squared = diff * diff
+    if reduction == "none":
+        return squared
+    if reduction == "sum":
+        return squared.sum()
+    return squared.mean()
+
+
+def _check_reduction(reduction: str) -> None:
+    if reduction not in ("mean", "sum", "none"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+
+# --------------------------------------------------------------------------
+# Misc
+# --------------------------------------------------------------------------
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype: np.dtype | None = None) -> np.ndarray:
+    """Return a dense ``(N, num_classes)`` one-hot numpy encoding."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError(f"one_hot expects a 1-d label array, got {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for one_hot")
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype or np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def dropout(
+    x: Tensor,
+    p: float,
+    rng: np.random.Generator,
+    training: bool = True,
+) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, rescale survivors."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+# --------------------------------------------------------------------------
+# Convolution / pooling
+# --------------------------------------------------------------------------
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution/pooling output size is {out} for input {size}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return out
+
+
+def _strided_windows(
+    padded: np.ndarray, kh: int, kw: int, sh: int, sw: int
+) -> np.ndarray:
+    """All (kh, kw) windows of ``padded`` at stride (sh, sw).
+
+    Returns a view of shape ``(N, C, OH, OW, kh, kw)``.
+    """
+    windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    return windows[:, :, ::sh, ::sw]
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int | tuple[int, int] = 1,
+    padding: int | tuple[int, int] = 0,
+) -> Tensor:
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    Implemented with im2col + BLAS matmul for the forward pass and a
+    vectorised col2im scatter for the input gradient.
+
+    Parameters
+    ----------
+    x: ``(N, C_in, H, W)`` input images or feature maps.
+    weight: ``(C_out, C_in, KH, KW)`` filters.
+    bias: optional ``(C_out,)``.
+    stride, padding: int or (height, width) pairs.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"conv2d expects (N, C, H, W) input, got {x.shape}")
+    if weight.ndim != 4:
+        raise ShapeError(f"conv2d expects (O, I, KH, KW) weight, got {weight.shape}")
+    if x.shape[1] != weight.shape[1]:
+        raise ShapeError(
+            f"input channels {x.shape[1]} do not match weight channels {weight.shape[1]}"
+        )
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    oh = _conv_output_size(h, kh, sh, ph)
+    ow = _conv_output_size(w, kw, sw, pw)
+
+    padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    windows = _strided_windows(padded, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c_in * kh * kw)
+    w_mat = weight.data.reshape(c_out, -1)
+    out_data = cols @ w_mat.T
+    if bias is not None:
+        out_data = out_data + bias.data
+    out_data = out_data.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+    parents: tuple[Tensor, ...] = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        g_mat = g.transpose(0, 2, 3, 1).reshape(n * oh * ow, c_out)
+        grad_w = (g_mat.T @ cols).reshape(weight.shape)
+        grad_cols = g_mat @ w_mat  # (N*OH*OW, C*kh*kw)
+        grad_windows = grad_cols.reshape(n, oh, ow, c_in, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+        grad_padded = np.zeros_like(padded)
+        for i in range(kh):
+            for j in range(kw):
+                grad_padded[:, :, i : i + oh * sh : sh, j : j + ow * sw : sw] += grad_windows[
+                    :, :, :, :, i, j
+                ]
+        grad_x = grad_padded[:, :, ph : ph + h, pw : pw + w]
+        if bias is None:
+            return grad_x, grad_w
+        return grad_x, grad_w, g.sum(axis=(0, 2, 3))
+
+    return apply_op(np.ascontiguousarray(out_data), parents, backward, "conv2d")
+
+
+def max_pool2d(
+    x: Tensor,
+    kernel_size: int | tuple[int, int],
+    stride: int | tuple[int, int] | None = None,
+) -> Tensor:
+    """Max pooling over ``(kh, kw)`` windows (stride defaults to kernel).
+
+    Gradient flows to the argmax element of each window (first index wins
+    ties, matching PyTorch).
+    """
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    if x.ndim != 4:
+        raise ShapeError(f"max_pool2d expects (N, C, H, W) input, got {x.shape}")
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kh, sh, 0)
+    ow = _conv_output_size(w, kw, sw, 0)
+
+    windows = _strided_windows(x.data, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw)
+    flat = windows.reshape(n, c, oh, ow, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        grad_x = np.zeros_like(x.data)
+        ki, kj = np.divmod(arg, kw)  # (N, C, OH, OW) window-local coordinates
+        n_idx, c_idx, oi, oj = np.indices(arg.shape, sparse=False)
+        rows = oi * sh + ki
+        cols = oj * sw + kj
+        np.add.at(grad_x, (n_idx, c_idx, rows, cols), g)
+        return (grad_x,)
+
+    return apply_op(np.ascontiguousarray(out_data), (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(
+    x: Tensor,
+    kernel_size: int | tuple[int, int],
+    stride: int | tuple[int, int] | None = None,
+) -> Tensor:
+    """Average pooling over ``(kh, kw)`` windows (stride defaults to kernel)."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    if x.ndim != 4:
+        raise ShapeError(f"avg_pool2d expects (N, C, H, W) input, got {x.shape}")
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kh, sh, 0)
+    ow = _conv_output_size(w, kw, sw, 0)
+
+    windows = _strided_windows(x.data, kh, kw, sh, sw)
+    out_data = windows.mean(axis=(-2, -1))
+    scale = 1.0 / (kh * kw)
+
+    def backward(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        grad_x = np.zeros_like(x.data)
+        contribution = g * scale
+        for i in range(kh):
+            for j in range(kw):
+                grad_x[:, :, i : i + oh * sh : sh, j : j + ow * sw : sw] += contribution
+        return (grad_x,)
+
+    return apply_op(np.ascontiguousarray(out_data), (x,), backward, "avg_pool2d")

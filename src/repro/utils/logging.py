@@ -1,0 +1,39 @@
+"""Library-wide logging configuration.
+
+The library logs under the ``repro`` namespace and never configures the
+root logger.  :func:`get_logger` attaches a single stream handler to the
+``repro`` parent logger the first time it is called, which keeps output
+readable when the library is used from scripts while staying silent in
+pytest unless requested.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    ``get_logger("robustness")`` yields the ``repro.robustness`` logger.
+    Passing a name that already starts with ``repro`` is also accepted.
+    """
+    global _configured
+    if not _configured:
+        parent = logging.getLogger("repro")
+        if not parent.handlers:
+            handler = logging.StreamHandler()
+            handler.setFormatter(logging.Formatter(_FORMAT))
+            parent.addHandler(handler)
+            parent.setLevel(logging.INFO)
+        _configured = True
+    full = name if name.startswith("repro") else f"repro.{name}"
+    return logging.getLogger(full)
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the log level for the whole ``repro`` namespace."""
+    logging.getLogger("repro").setLevel(level)

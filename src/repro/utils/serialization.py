@@ -1,0 +1,47 @@
+"""Lightweight array / state-dict persistence on top of ``numpy.savez``.
+
+Model parameters and experiment result grids are persisted as compressed
+``.npz`` archives of flat ``name -> array`` mappings.  JSON-friendly
+metadata can ride along under a reserved key.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+_METADATA_KEY = "__repro_metadata__"
+
+
+def save_npz(
+    path: str | Path,
+    arrays: dict[str, np.ndarray],
+    metadata: dict | None = None,
+) -> Path:
+    """Save ``arrays`` (plus optional JSON-serialisable ``metadata``).
+
+    Returns the path written.  Parent directories are created on demand.
+    """
+    path = Path(path)
+    if _METADATA_KEY in arrays:
+        raise ValueError(f"array name {_METADATA_KEY!r} is reserved")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(arrays)
+    if metadata is not None:
+        encoded = json.dumps(metadata, sort_keys=True)
+        payload[_METADATA_KEY] = np.frombuffer(encoded.encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_npz(path: str | Path) -> tuple[dict[str, np.ndarray], dict | None]:
+    """Load arrays and metadata previously written by :func:`save_npz`."""
+    with np.load(Path(path)) as archive:
+        arrays = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+        metadata = None
+        if _METADATA_KEY in archive.files:
+            raw = archive[_METADATA_KEY].tobytes().decode("utf-8")
+            metadata = json.loads(raw)
+    return arrays, metadata

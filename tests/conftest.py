@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight artifacts (datasets, trained micro models) are session-scoped:
+they are built once and reused across test modules, keeping the suite fast
+while still exercising real training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, load_synthetic_mnist
+from repro.models import build_model
+from repro.tensor import Tensor
+from repro.training import Trainer, TrainingConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+def make_tensor(
+    rng: np.random.Generator,
+    *shape: int,
+    requires_grad: bool = True,
+    offset: float = 0.0,
+) -> Tensor:
+    """Float64 tensor of standard-normal values (gradcheck-friendly)."""
+    data = rng.standard_normal(shape) + offset
+    return Tensor(data, requires_grad=requires_grad, dtype=np.float64)
+
+
+@pytest.fixture(scope="session")
+def tiny_digits() -> tuple[ArrayDataset, ArrayDataset]:
+    """Small 12x12 synthetic-digit train/test pair shared by the suite."""
+    return load_synthetic_mnist(160, 40, image_size=12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_cnn(tiny_digits):
+    """A small CNN trained for four epochs on the tiny dataset (~70% acc)."""
+    train, _test = tiny_digits
+    model = build_model("lenet_mini", input_size=12, rng=0)
+    Trainer(model, TrainingConfig(epochs=4, batch_size=16)).fit(train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_snn(tiny_digits):
+    """A small SNN trained on the tiny dataset (~45% acc in ~5 s).
+
+    Uses the trainability-oriented settings (soft surrogate, mean-membrane
+    decoder, T=16) — the suite tests pipeline mechanics with it, not the
+    paper's robustness claims.
+    """
+    from repro.snn import LIFParameters
+
+    train, _test = tiny_digits
+    model = build_model(
+        "snn_lenet_mini",
+        input_size=12,
+        time_steps=16,
+        lif_params=LIFParameters(surrogate_alpha=10.0),
+        decoder="mean",
+        rng=0,
+    )
+    Trainer(model, TrainingConfig(epochs=5, batch_size=16)).fit(train)
+    return model

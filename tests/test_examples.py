@@ -1,0 +1,85 @@
+"""Examples: importability and unit tests of their helper functions.
+
+Full example runs take minutes (they train real models); the suite checks
+that each script parses, imports and exposes a ``main`` callable, and
+unit-tests the pure helpers.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleStructure:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    def test_quickstart_exists(self):
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_imports_and_exposes_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), f"{path.name} has no main()"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_has_module_docstring(self, path):
+        module = _load(path)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+
+class TestAttackVisualizationHelpers:
+    def test_ascii_image_shape_and_charset(self):
+        module = _load(EXAMPLES_DIR / "attack_visualization.py")
+        rows = module.ascii_image(np.linspace(0, 1, 16).reshape(4, 4))
+        assert len(rows) == 4
+        assert all(len(row) == 4 for row in rows)
+        assert set("".join(rows)).issubset(set(module.SHADES))
+
+    def test_ascii_image_clips_out_of_range(self):
+        module = _load(EXAMPLES_DIR / "attack_visualization.py")
+        rows = module.ascii_image(np.array([[-1.0, 2.0]]))
+        assert rows[0][0] == module.SHADES[0]
+        assert rows[0][1] == module.SHADES[-1]
+
+    def test_side_by_side_aligns_panels(self):
+        module = _load(EXAMPLES_DIR / "attack_visualization.py")
+        img = np.zeros((3, 3))
+        text = module.side_by_side({"a": img, "b": img})
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # title + 3 rows
+
+
+class TestBankChequeHelpers:
+    def test_render_account_number(self):
+        module = _load(EXAMPLES_DIR / "bankcheck_digits.py")
+        images = module.render_account_number((1, 2, 3), seed=0)
+        assert images.shape == (3, 1, 16, 16)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_render_account_number_deterministic(self):
+        module = _load(EXAMPLES_DIR / "bankcheck_digits.py")
+        a = module.render_account_number((7, 7), seed=3)
+        b = module.render_account_number((7, 7), seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_account_number_constant_is_valid(self):
+        module = _load(EXAMPLES_DIR / "bankcheck_digits.py")
+        assert all(0 <= d <= 9 for d in module.ACCOUNT_NUMBER)

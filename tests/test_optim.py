@@ -1,0 +1,197 @@
+"""Optimizers: updates verified against hand-computed references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim import SGD, Adam, AdamW, CosineAnnealingLR, ExponentialLR, StepLR
+from repro.tensor import Tensor
+
+
+def _param(value) -> nn.Parameter:
+    return nn.Parameter(np.array(value, dtype=np.float64))
+
+
+def _set_grad(param: nn.Parameter, grad) -> None:
+    param.grad = np.array(grad, dtype=np.float64)
+
+
+class TestSGD:
+    def test_plain_update(self):
+        p = _param([1.0, 2.0])
+        opt = SGD([p], lr=0.1)
+        _set_grad(p, [1.0, -1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9, 2.1])
+
+    def test_momentum_matches_reference(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        buf = 0.0
+        x = 0.0
+        for grad in (1.0, 0.5, -0.2):
+            _set_grad(p, [grad])
+            opt.step()
+            buf = 0.9 * buf + grad
+            x -= 0.1 * buf
+            np.testing.assert_allclose(p.data, [x], rtol=1e-12)
+
+    def test_nesterov_matches_reference(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=0.1, momentum=0.9, nesterov=True)
+        buf = 0.0
+        x = 0.0
+        for grad in (1.0, 0.5):
+            _set_grad(p, [grad])
+            opt.step()
+            buf = 0.9 * buf + grad
+            x -= 0.1 * (grad + 0.9 * buf)
+            np.testing.assert_allclose(p.data, [x], rtol=1e-12)
+
+    def test_weight_decay(self):
+        p = _param([1.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        _set_grad(p, [0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_skips_params_without_grad(self):
+        p, q = _param([1.0]), _param([2.0])
+        opt = SGD([p, q], lr=0.1)
+        _set_grad(p, [1.0])
+        opt.step()
+        np.testing.assert_allclose(q.data, [2.0])
+
+    def test_validation(self):
+        p = _param([1.0])
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, nesterov=True)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, weight_decay=-0.1)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # With bias correction, |first step| == lr regardless of grad scale.
+        p = _param([0.0])
+        opt = Adam([p], lr=0.01)
+        _set_grad(p, [123.0])
+        opt.step()
+        np.testing.assert_allclose(np.abs(p.data), [0.01], rtol=1e-4)
+
+    def test_matches_reference_sequence(self):
+        p = _param([1.0])
+        lr, b1, b2, eps = 1e-2, 0.9, 0.999, 1e-8
+        opt = Adam([p], lr=lr, betas=(b1, b2), eps=eps)
+        m = v = 0.0
+        x = 1.0
+        for t, grad in enumerate((0.3, -0.8, 0.1), start=1):
+            _set_grad(p, [grad])
+            opt.step()
+            m = b1 * m + (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad * grad
+            m_hat = m / (1 - b1**t)
+            v_hat = v / (1 - b2**t)
+            x -= lr * m_hat / (np.sqrt(v_hat) + eps)
+            np.testing.assert_allclose(p.data, [x], rtol=1e-10)
+
+    def test_l2_weight_decay_changes_update(self):
+        p1, p2 = _param([1.0]), _param([1.0])
+        o1 = Adam([p1], lr=0.01, weight_decay=0.0)
+        o2 = Adam([p2], lr=0.01, weight_decay=1.0)
+        for o, p in ((o1, p1), (o2, p2)):
+            _set_grad(p, [0.1])
+            o.step()
+        assert p2.data[0] < p1.data[0]
+
+    def test_validation(self):
+        p = _param([1.0])
+        with pytest.raises(ValueError):
+            Adam([p], betas=(1.0, 0.9))
+        with pytest.raises(ValueError):
+            Adam([p], eps=0.0)
+
+
+class TestAdamW:
+    def test_decoupled_decay_applied_multiplicatively(self):
+        p = _param([1.0])
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        _set_grad(p, [0.0])
+        opt.step()
+        # grad is zero -> Adam update is zero; only the decay acts.
+        np.testing.assert_allclose(p.data, [1.0 * (1 - 0.1 * 0.5)])
+
+    def test_differs_from_adam_l2(self):
+        pw, pl = _param([1.0]), _param([1.0])
+        ow = AdamW([pw], lr=0.01, weight_decay=0.5)
+        ol = Adam([pl], lr=0.01, weight_decay=0.5)
+        for o, p in ((ow, pw), (ol, pl)):
+            _set_grad(p, [0.3])
+            o.step()
+        assert pw.data[0] != pytest.approx(pl.data[0])
+
+
+class TestTrainingConvergence:
+    def test_sgd_minimises_quadratic(self):
+        p = _param([5.0])
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            t = Tensor(p.data, requires_grad=True)
+            # manual gradient of (x-2)^2
+            p.grad = 2.0 * (p.data - 2.0)
+            opt.step()
+        np.testing.assert_allclose(p.data, [2.0], atol=1e-3)
+
+    def test_adam_minimises_quadratic(self):
+        p = _param([5.0])
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            p.grad = 2.0 * (p.data - 2.0)
+            opt.step()
+        np.testing.assert_allclose(p.data, [2.0], atol=1e-2)
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([_param([1.0])], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        opt = self._opt()
+        sched = ExponentialLR(opt, gamma=0.5)
+        lrs = [sched.step() for _ in range(3)]
+        np.testing.assert_allclose(lrs, [0.5, 0.25, 0.125])
+
+    def test_cosine_lr_endpoints(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        values = [sched.step() for _ in range(10)]
+        assert values[-1] == pytest.approx(0.1)
+        assert values[0] < 1.0
+        # stays at eta_min beyond t_max
+        assert sched.step() == pytest.approx(0.1)
+
+    def test_scheduler_mutates_optimizer(self):
+        opt = self._opt()
+        StepLR(opt, step_size=1, gamma=0.5).step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_validation(self):
+        opt = self._opt()
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)

@@ -1,0 +1,150 @@
+"""Input encoders: spike statistics and gradient paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.snn import ConstantCurrentLIFEncoder, LatencyEncoder, LIFParameters, PoissonEncoder
+from repro.tensor import Tensor
+
+
+def _total_spikes(frames) -> float:
+    return float(sum(frame.data.sum() for frame in frames))
+
+
+class TestConstantCurrentEncoder:
+    def test_spike_count_monotone_in_intensity(self):
+        enc = ConstantCurrentLIFEncoder(input_scale=2.0)
+        counts = []
+        for intensity in (0.2, 0.5, 1.0):
+            frames = enc.encode(Tensor(np.full((1, 1), intensity)), 50)
+            counts.append(_total_spikes(frames))
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_zero_input_is_silent(self):
+        enc = ConstantCurrentLIFEncoder()
+        frames = enc.encode(Tensor(np.zeros((2, 3))), 30)
+        assert _total_spikes(frames) == 0.0
+
+    def test_deterministic(self):
+        enc = ConstantCurrentLIFEncoder()
+        x = Tensor(np.linspace(0, 1, 10).reshape(2, 5))
+        a = np.stack([f.data for f in enc.encode(x, 20)])
+        b = np.stack([f.data for f in enc.encode(x, 20)])
+        np.testing.assert_array_equal(a, b)
+
+    def test_higher_threshold_fewer_spikes(self):
+        low = ConstantCurrentLIFEncoder(LIFParameters(v_th=0.5))
+        high = ConstantCurrentLIFEncoder(LIFParameters(v_th=2.0))
+        x = Tensor(np.full((1, 4), 0.8))
+        assert _total_spikes(low.encode(x, 50)) > _total_spikes(high.encode(x, 50))
+
+    def test_gradient_path_to_image(self):
+        enc = ConstantCurrentLIFEncoder(LIFParameters(surrogate_alpha=5.0))
+        x = Tensor(np.full((1, 2), 0.7), requires_grad=True, dtype=np.float64)
+        frames = enc.encode(x, 30)
+        total = frames[0].sum()
+        for frame in frames[1:]:
+            total = total + frame.sum()
+        total.backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            ConstantCurrentLIFEncoder(input_scale=0.0)
+
+    def test_frames_count(self):
+        enc = ConstantCurrentLIFEncoder()
+        assert len(enc.encode(Tensor(np.zeros((1, 1))), 17)) == 17
+
+
+class TestPoissonEncoder:
+    def test_rate_tracks_intensity(self):
+        enc = PoissonEncoder(scale=1.0, rng=0)
+        x = Tensor(np.full((50, 50), 0.3))
+        frames = enc.encode(x, 40)
+        rate = _total_spikes(frames) / (40 * 50 * 50)
+        assert rate == pytest.approx(0.3, abs=0.02)
+
+    def test_spikes_binary(self):
+        enc = PoissonEncoder(rng=0)
+        frames = enc.encode(Tensor(np.random.default_rng(0).random((5, 5))), 10)
+        for frame in frames:
+            assert set(np.unique(frame.data)).issubset({0.0, 1.0})
+
+    def test_probability_clipped_to_one(self):
+        enc = PoissonEncoder(scale=10.0, rng=0)
+        frames = enc.encode(Tensor(np.ones((4, 4))), 5)
+        assert _total_spikes(frames) == 5 * 16  # every pixel spikes every step
+
+    def test_straight_through_gradient(self):
+        enc = PoissonEncoder(scale=0.5, rng=0)
+        x = Tensor(np.full((3, 3), 0.5), requires_grad=True, dtype=np.float64)
+        frame, _ = enc.step(x)
+        frame.sum().backward()
+        # derivative of expectation = scale inside the active region
+        np.testing.assert_allclose(x.grad, np.full((3, 3), 0.5))
+
+    def test_gradient_zero_in_saturated_region(self):
+        enc = PoissonEncoder(scale=10.0, rng=0)
+        x = Tensor(np.ones((2, 2)), requires_grad=True, dtype=np.float64)
+        frame, _ = enc.step(x)
+        frame.sum().backward()
+        np.testing.assert_allclose(x.grad, 0.0)
+
+    def test_seeded_determinism(self):
+        a = PoissonEncoder(rng=7).encode(Tensor(np.full((4, 4), 0.5)), 6)
+        b = PoissonEncoder(rng=7).encode(Tensor(np.full((4, 4), 0.5)), 6)
+        np.testing.assert_array_equal(
+            np.stack([f.data for f in a]), np.stack([f.data for f in b])
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            PoissonEncoder(scale=0.0)
+
+
+class TestLatencyEncoder:
+    def test_brighter_spikes_earlier(self):
+        enc = LatencyEncoder()
+        x = Tensor(np.array([[0.9, 0.2]]))
+        frames = enc.encode(x, 10)
+        first_spike = [None, None]
+        for t, frame in enumerate(frames):
+            for pixel in range(2):
+                if frame.data[0, pixel] == 1.0 and first_spike[pixel] is None:
+                    first_spike[pixel] = t
+        assert first_spike[0] is not None and first_spike[1] is not None
+        assert first_spike[0] < first_spike[1]
+
+    def test_single_spike_per_pixel(self):
+        enc = LatencyEncoder()
+        x = Tensor(np.random.default_rng(0).random((3, 4)))
+        frames = enc.encode(x, 12)
+        totals = sum(frame.data for frame in frames)
+        assert np.all(totals <= 1.0)
+
+    def test_dim_pixels_never_spike(self):
+        enc = LatencyEncoder(threshold=0.5)
+        frames = enc.encode(Tensor(np.full((2, 2), 0.3)), 8)
+        assert _total_spikes(frames) == 0.0
+
+    def test_gradient_routed_to_spiking_pixels(self):
+        enc = LatencyEncoder()
+        x = Tensor(np.array([[0.9, 0.01]]), requires_grad=True, dtype=np.float64)
+        frames = enc.encode(x, 5)
+        total = frames[0].sum()
+        for frame in frames[1:]:
+            total = total + frame.sum()
+        total.backward()
+        assert x.grad[0, 0] == 1.0   # spiked once, straight-through
+        assert x.grad[0, 1] == 0.0   # below threshold, no spike
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LatencyEncoder(threshold=1.0)
+        with pytest.raises(ValueError):
+            LatencyEncoder().encode(Tensor(np.zeros((1, 1))), 0)

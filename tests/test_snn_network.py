@@ -1,0 +1,176 @@
+"""SpikingNetwork: structure, structural parameters, decoders, gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model
+from repro.snn import (
+    ConstantCurrentLIFEncoder,
+    LastMembraneDecoder,
+    LIFCell,
+    LIFParameters,
+    LICell,
+    MaxMembraneDecoder,
+    MeanMembraneDecoder,
+    SpikeCountDecoder,
+    SpikingLayer,
+    SpikingNetwork,
+    SpikingReadout,
+)
+from repro.tensor import Tensor
+
+
+def _tiny_network(time_steps=4, v_th=1.0, vary_encoder=True) -> SpikingNetwork:
+    params = LIFParameters(v_th=v_th, surrogate_alpha=5.0)
+    layers = [
+        SpikingLayer(nn.Linear(8, 6, rng=0), LIFCell(params)),
+        SpikingLayer(nn.Linear(6, 5, rng=1), LIFCell(params)),
+    ]
+    readout = SpikingReadout(nn.Linear(5, 3, rng=2), LICell(params))
+    return SpikingNetwork(
+        ConstantCurrentLIFEncoder(params),
+        layers,
+        readout,
+        time_steps=time_steps,
+        vary_encoder_threshold=vary_encoder,
+    )
+
+
+class TestStructure:
+    def test_forward_shape(self):
+        net = _tiny_network()
+        out = net(Tensor(np.random.default_rng(0).random((7, 8))))
+        assert out.shape == (7, 3)
+
+    def test_invalid_time_steps(self):
+        with pytest.raises(ValueError):
+            _tiny_network(time_steps=0)
+        with pytest.raises(ValueError):
+            _tiny_network().set_time_steps(-1)
+
+    def test_set_time_steps(self):
+        net = _tiny_network(time_steps=4)
+        net.set_time_steps(9)
+        assert net.time_steps == 9
+        out = net(Tensor(np.zeros((1, 8))))
+        assert out.shape == (1, 3)
+
+    def test_set_v_th_applies_to_all_layers(self):
+        net = _tiny_network()
+        net.set_v_th(1.75)
+        assert net.v_th == 1.75
+        for layer in net.layers:
+            assert layer.cell.params.v_th == 1.75
+        assert net.encoder.cell.params.v_th == 1.75
+
+    def test_set_v_th_can_spare_encoder(self):
+        net = _tiny_network(vary_encoder=False)
+        original = net.encoder.cell.params.v_th
+        net.set_v_th(2.0)
+        assert net.encoder.cell.params.v_th == original
+        assert net.v_th == 2.0
+
+    def test_parameters_cover_all_stages(self):
+        net = _tiny_network()
+        names = dict(net.named_parameters())
+        assert any(name.startswith("layers.0") for name in names)
+        assert any(name.startswith("readout") for name in names)
+
+    def test_repr(self):
+        assert "SpikingNetwork(T=4" in repr(_tiny_network())
+
+    def test_spike_counts_diagnostic(self):
+        net = _tiny_network()
+        counts = net.spike_counts(Tensor(np.full((2, 8), 0.9)))
+        assert len(counts) == 3  # encoder + 2 layers
+        assert all(float(c.data) >= 0 for c in counts)
+
+
+class TestStructuralParameterEffects:
+    def test_lower_threshold_more_spikes(self):
+        dense = _tiny_network(time_steps=20, v_th=0.25)
+        sparse = _tiny_network(time_steps=20, v_th=2.0)
+        x = Tensor(np.full((2, 8), 0.9))
+        dense_count = float(dense.spike_counts(x)[0].data)
+        sparse_count = float(sparse.spike_counts(x)[0].data)
+        assert dense_count > sparse_count
+
+    def test_longer_window_more_spikes(self):
+        net = _tiny_network(time_steps=5)
+        x = Tensor(np.full((1, 8), 0.9))
+        short = float(net.spike_counts(x)[0].data)
+        net.set_time_steps(40)
+        long = float(net.spike_counts(x)[0].data)
+        assert long > short
+
+    def test_input_gradient_exists_when_window_covers_depth(self):
+        net = _tiny_network(time_steps=12)
+        x = Tensor(np.random.default_rng(0).random((2, 8)), requires_grad=True)
+        net(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestDecoders:
+    def _trace(self):
+        return [
+            Tensor(np.array([[1.0, 0.0]])),
+            Tensor(np.array([[3.0, 1.0]])),
+            Tensor(np.array([[2.0, 4.0]])),
+        ]
+
+    def test_max_decoder(self):
+        out = MaxMembraneDecoder()(self._trace())
+        np.testing.assert_allclose(out.data, [[3.0, 4.0]])
+
+    def test_mean_decoder(self):
+        out = MeanMembraneDecoder()(self._trace())
+        np.testing.assert_allclose(out.data, [[2.0, 5.0 / 3.0]])
+
+    def test_last_decoder(self):
+        out = LastMembraneDecoder()(self._trace())
+        np.testing.assert_allclose(out.data, [[2.0, 4.0]])
+
+    def test_spike_count_decoder(self):
+        out = SpikeCountDecoder()(self._trace())
+        np.testing.assert_allclose(out.data, [[6.0, 5.0]])
+
+    @pytest.mark.parametrize(
+        "decoder",
+        [MaxMembraneDecoder(), MeanMembraneDecoder(), LastMembraneDecoder(), SpikeCountDecoder()],
+    )
+    def test_empty_trace_raises(self, decoder):
+        with pytest.raises(ValueError):
+            decoder([])
+
+
+class TestBuilderOptions:
+    def test_decoder_selection(self):
+        mean_net = build_model("snn_lenet_mini", input_size=12, time_steps=4, decoder="mean", rng=0)
+        assert isinstance(mean_net.decoder, MeanMembraneDecoder)
+        max_net = build_model("snn_lenet_mini", input_size=12, time_steps=4, decoder="max", rng=0)
+        assert isinstance(max_net.decoder, MaxMembraneDecoder)
+
+    def test_unknown_decoder_raises(self):
+        with pytest.raises(ValueError, match="unknown decoder"):
+            build_model("snn_lenet_mini", input_size=12, decoder="median", rng=0)
+
+    def test_weight_gain_scales_weights(self):
+        base = build_model("snn_lenet_mini", input_size=12, weight_gain=1.0, rng=0)
+        gained = build_model("snn_lenet_mini", input_size=12, weight_gain=2.0, rng=0)
+        w_base = dict(base.named_parameters())["layers.0.transform.weight"]
+        w_gained = dict(gained.named_parameters())["layers.0.transform.weight"]
+        np.testing.assert_allclose(w_gained.data, 2.0 * w_base.data, rtol=1e-6)
+
+    def test_weight_gain_spares_biases(self):
+        base = build_model("snn_lenet_mini", input_size=12, weight_gain=1.0, rng=0)
+        gained = build_model("snn_lenet_mini", input_size=12, weight_gain=3.0, rng=0)
+        b_base = dict(base.named_parameters())["layers.0.transform.bias"]
+        b_gained = dict(gained.named_parameters())["layers.0.transform.bias"]
+        np.testing.assert_array_equal(b_gained.data, b_base.data)
+
+    def test_invalid_weight_gain(self):
+        with pytest.raises(ValueError):
+            build_model("snn_lenet_mini", input_size=12, weight_gain=0.0, rng=0)

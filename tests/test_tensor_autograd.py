@@ -1,0 +1,166 @@
+"""Backward-pass mechanics: accumulation, graph traversal, no_grad."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AutogradError, ShapeError
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestBackwardBasics:
+    def test_simple_chain(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_gradient_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad_resets(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*2 feeds both branches; dz/dx = 2 + 2 = 4 per element.
+        x = Tensor([1.0, 1.0], requires_grad=True)
+        y = x * 2
+        z = (y + y).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [4.0, 4.0])
+
+    def test_reused_leaf_in_one_expression(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x * x * x).sum()  # dy/dx = 3x^2 = 27
+        y.backward()
+        np.testing.assert_allclose(x.grad, [27.0])
+
+    def test_explicit_output_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3
+        y.backward(np.array([1.0, 10.0], dtype=y.dtype))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_nonscalar_backward_without_grad_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(AutogradError, match="scalar"):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(AutogradError):
+            x.backward()
+
+    def test_wrong_grad_shape_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2
+        with pytest.raises(ShapeError):
+            y.backward(np.ones(3))
+
+    def test_grad_does_not_flow_into_non_grad_parent(self):
+        x = Tensor([1.0], requires_grad=True)
+        c = Tensor([5.0])  # constant
+        (x * c).sum().backward()
+        assert c.grad is None
+        np.testing.assert_allclose(x.grad, [5.0])
+
+
+class TestDeepGraphs:
+    def test_long_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_unrolled_loop_like_snn(self):
+        # State threading as in the LIF loop: gradient sums over steps.
+        x = Tensor([2.0], requires_grad=True)
+        state = Tensor([0.0])
+        outputs = []
+        for _ in range(50):
+            state = state * 0.9 + x
+            outputs.append(state)
+        total = outputs[-1].sum()
+        total.backward()
+        expected = sum(0.9 ** k for k in range(50))
+        np.testing.assert_allclose(x.grad, [expected], rtol=1e-6)
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._backward_fn is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestBroadcastGradients:
+    def test_broadcast_add_unbroadcasts(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_scalar_broadcast(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        s = Tensor(3.0, requires_grad=True)
+        (a * s).sum().backward()
+        assert s.grad.shape == ()
+        np.testing.assert_allclose(s.grad, 4.0)
+
+    def test_keepdim_broadcast(self):
+        a = Tensor(np.ones((4, 1)), requires_grad=True)
+        b = Tensor(np.ones((4, 5)), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (4, 1)
+        np.testing.assert_allclose(a.grad, np.full((4, 1), 5.0))
+
+
+class TestGraphCleanup:
+    def test_interior_grads_released_after_backward(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2
+        z = (y * 3).sum()
+        z.backward()
+        assert y.grad is None       # interior node released
+        assert y._backward_fn is None
+        assert x.grad is not None   # leaf keeps gradient
+
+    def test_requires_grad_toggle(self):
+        x = Tensor([1.0])
+        assert not x.requires_grad
+        x.requires_grad_()
+        assert x.requires_grad
+        x.requires_grad_(False)
+        assert not x.requires_grad
