@@ -1,10 +1,11 @@
 """Benchmark P1 — substrate micro-benchmarks.
 
 Throughput of the pieces everything else is built on: convolution
-forward/backward, one LIF step, a full SNN forward, one PGD gradient
-step, and one optimizer update.  These run with real repetition (unlike
-the experiment benches, which execute once) and are the numbers to watch
-when optimising the engine.
+forward/backward, one LIF step, a full SNN forward (autograd vs the
+fused no-grad path), one PGD gradient step, one optimizer update, and
+the cell-job engine running a tiny grid serially vs in parallel.  These
+run with real repetition (unlike the experiment benches, which execute
+once) and are the numbers to watch when optimising the engine.
 """
 
 from __future__ import annotations
@@ -14,10 +15,14 @@ import pytest
 
 from repro import nn
 from repro.attacks.base import input_gradient
+from repro.data import ArrayDataset
 from repro.models import build_model
 from repro.optim import Adam
+from repro.robustness import ExplorationConfig, RobustnessExplorer
 from repro.snn import LIFCell, LIFParameters
 from repro.tensor import Tensor, functional as F
+from repro.tensor.tensor import no_grad
+from repro.training.trainer import TrainingConfig
 
 RNG = np.random.default_rng(0)
 
@@ -59,6 +64,23 @@ def test_snn_forward(benchmark):
     benchmark(lambda: model(x))
 
 
+def test_snn_forward_nograd(benchmark):
+    """Fused no-grad inference path — compare against ``test_snn_forward``.
+
+    Same model, same input, same (bitwise) logits; the only difference is
+    the fused numpy time loop that skips graph construction and
+    surrogate-derivative evaluation.
+    """
+    model = build_model("snn_lenet_mini", input_size=16, time_steps=16, rng=0)
+    x = Tensor(RNG.random((8, 1, 16, 16)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            model(x)
+
+    benchmark(run)
+
+
 def test_pgd_gradient_step(benchmark):
     model = build_model("snn_lenet_mini", input_size=16, time_steps=16, rng=0)
     images = RNG.random((8, 1, 16, 16)).astype(np.float32)
@@ -79,3 +101,43 @@ def test_adam_step(benchmark):
         optimizer.step()
 
     benchmark(run)
+
+
+# -- cell-job engine ---------------------------------------------------------
+#
+# A deliberately tiny grid (linear probe, FGSM, one epoch) so the numbers
+# measure scheduling overhead and scaling, not SNN training time.  On a
+# single-core box the parallel variant mostly pays pool start-up; with
+# real cores it approaches jobs-fold speed-up because cells are
+# independent.
+
+
+def _tiny_grid_explorer() -> RobustnessExplorer:
+    rng = np.random.default_rng(7)
+    train = ArrayDataset(rng.random((32, 1, 6, 6)).astype(np.float32), rng.integers(0, 4, 32))
+    test = ArrayDataset(rng.random((16, 1, 6, 6)).astype(np.float32), rng.integers(0, 4, 16))
+
+    def factory(v_th: float, time_window: int, seed: int) -> nn.Module:
+        return nn.Sequential(nn.Flatten(), nn.Linear(36, 4, rng=seed))
+
+    config = ExplorationConfig(
+        v_thresholds=(0.5, 1.0, 1.5, 2.0),
+        time_windows=(2,),
+        epsilons=(0.1,),
+        accuracy_threshold=0.0,
+        attack="fgsm",
+        attack_steps=1,
+        training=TrainingConfig(epochs=1, batch_size=8, learning_rate=0.01),
+        seed=7,
+    )
+    return RobustnessExplorer(factory, train, test, config)
+
+
+def test_engine_grid_serial(benchmark):
+    explorer = _tiny_grid_explorer()
+    benchmark(lambda: explorer.run(jobs=1))
+
+
+def test_engine_grid_parallel(benchmark):
+    explorer = _tiny_grid_explorer()
+    benchmark(lambda: explorer.run(jobs=2))

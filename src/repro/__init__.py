@@ -13,6 +13,7 @@ The library is organised as a stack:
 * :mod:`repro.attacks` — FGSM / BIM / PGD white-box attacks
 * :mod:`repro.training` — training loop
 * :mod:`repro.robustness` — the paper's Algorithm 1 exploration
+* :mod:`repro.engine` — parallel, resumable cell-job execution
 * :mod:`repro.experiments` — per-figure reproduction harness
 
 Quickstart

@@ -35,7 +35,12 @@ def input_gradient(model: Module, images: np.ndarray, labels: np.ndarray) -> np.
 
 
 def predict_batched(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
-    """Class predictions without building autograd graphs."""
+    """Class predictions without building autograd graphs.
+
+    Runs under ``no_grad()``, so spiking models take their fused numpy
+    inference path (:meth:`repro.snn.network.SpikingNetwork.forward`) —
+    the logits are bitwise identical to the graph path, just cheaper.
+    """
     predictions = []
     with no_grad():
         for start in range(0, len(images), batch_size):

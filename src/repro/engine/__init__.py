@@ -1,0 +1,41 @@
+"""The cell-job engine: parallel, resumable execution of sweep workloads.
+
+The paper's Algorithm 1 — and every sweep-style workload built on it — is
+embarrassingly parallel at the granularity of one grid cell.  This package
+turns that observation into infrastructure, split into three layers:
+
+* **job** (:mod:`repro.engine.job`) — :class:`CellTask`, a picklable
+  description of one cell with deterministically derived seeds, and
+  :func:`run_cell_task`, the pure function evaluating it;
+* **scheduler** (:mod:`repro.engine.scheduler`) — :func:`run_cell_tasks`,
+  executing a task list serially or on a fork pool with identical results;
+* **cache** (:mod:`repro.engine.cache`) — :class:`CellCache`, atomic JSON
+  checkpoints keyed by a context fingerprint, making interrupted grid runs
+  resumable.
+
+:class:`repro.robustness.exploration.RobustnessExplorer` is the primary
+consumer; future sweeps (ablation grids, transfer studies) should build on
+the same layers instead of hand-rolling loops.
+"""
+
+from repro.engine.cache import CellCache, context_fingerprint
+from repro.engine.job import (
+    CellTask,
+    ExplorationJobContext,
+    build_cell_tasks,
+    make_cell_task,
+    run_cell_task,
+)
+from repro.engine.scheduler import ScheduleStats, run_cell_tasks
+
+__all__ = [
+    "CellCache",
+    "CellTask",
+    "ExplorationJobContext",
+    "ScheduleStats",
+    "build_cell_tasks",
+    "context_fingerprint",
+    "make_cell_task",
+    "run_cell_task",
+    "run_cell_tasks",
+]

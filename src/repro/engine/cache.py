@@ -1,0 +1,167 @@
+"""Resumable cell cache: JSON checkpoints for completed grid cells.
+
+Every completed :class:`~repro.robustness.results.CellResult` is written
+to its own small JSON file, keyed by a fingerprint of the exploration
+context (config + dataset digests + caller tags) and the cell identity
+(grid position and derived seeds).  An interrupted grid run therefore
+resumes from the last completed cell instead of restarting: cells whose
+checkpoint exists are loaded, everything else is recomputed.
+
+Writes are atomic (temp file + rename), so a run killed mid-write never
+leaves a checkpoint the next run would trip over — unreadable or corrupt
+entries are treated as cache misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Mapping
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.engine.job import CellTask, ExplorationJobContext
+from repro.robustness.results import CellResult
+
+__all__ = ["CellCache", "context_fingerprint"]
+
+_FORMAT_VERSION = 1
+
+
+def _dataset_digest(dataset: ArrayDataset) -> str:
+    """Content hash of a dataset (shape, dtype and raw bytes)."""
+    digest = hashlib.sha256()
+    for array in (dataset.images, dataset.labels):
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.shape).encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def context_fingerprint(
+    context: ExplorationJobContext,
+    tags: Mapping[str, object] | None = None,
+) -> str:
+    """Stable hash identifying one exploration setup.
+
+    Covers the full :class:`ExplorationConfig` (grid, gate, attack and
+    training settings), the exact train/test data, and any caller-supplied
+    ``tags``.  The model factory itself cannot be hashed reliably — callers
+    that switch factories under an identical config must disambiguate via
+    ``tags`` (the experiment runners tag profile and model names).
+    """
+    payload = {
+        "version": _FORMAT_VERSION,
+        "config": asdict(context.config),
+        "train": _dataset_digest(context.train_set),
+        "test": _dataset_digest(context.test_set),
+        "tags": {str(k): str(v) for k, v in (tags or {}).items()},
+    }
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class CellCache:
+    """One checkpoint file per completed cell under ``directory``.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live; created lazily on first write.
+    fingerprint:
+        Context fingerprint from :func:`context_fingerprint`; part of every
+        cell key, so caches for different configs/datasets can share a
+        directory without collisions.
+    """
+
+    def __init__(self, directory: str | Path, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = str(fingerprint)
+        # Filenames carry a fingerprint prefix so __len__/clear() can
+        # enumerate this cache's entries even in a shared directory.
+        self._prefix = f"cell_{self.fingerprint[:12]}"
+
+    def path_for(self, task: CellTask) -> Path:
+        """Checkpoint path of one task (exists only once completed)."""
+        material = ":".join(
+            (
+                self.fingerprint,
+                repr(task.v_th),
+                str(task.time_window),
+                str(task.cell_seed),
+                str(task.attack_seed),
+            )
+        )
+        key = hashlib.sha256(material.encode()).hexdigest()[:32]
+        return self.directory / f"{self._prefix}_{key}.json"
+
+    def get(self, task: CellTask) -> CellResult | None:
+        """Load the checkpoint for ``task``; ``None`` on miss or corruption."""
+        path = self.path_for(task)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            return None
+        try:
+            return CellResult.from_dict(payload["cell"])
+        except (AttributeError, KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, task: CellTask, cell: CellResult) -> Path:
+        """Atomically checkpoint a completed cell; returns its path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(task)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "task": {
+                "index": task.index,
+                "v_th": task.v_th,
+                "time_window": task.time_window,
+                "cell_seed": task.cell_seed,
+                "attack_seed": task.attack_seed,
+            },
+            "cell": cell.as_dict(),
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def any_entries(self) -> bool:
+        """Whether the directory holds checkpoints from *any* exploration.
+
+        Used to distinguish "nothing checkpointed yet" from "checkpoints
+        exist but none match this configuration" when resuming.
+        """
+        if not self.directory.is_dir():
+            return False
+        return next(iter(self.directory.glob("cell_*.json")), None) is not None
+
+    def __len__(self) -> int:
+        """Number of this cache's checkpoint files currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob(f"{self._prefix}_*.json"))
+
+    def clear(self) -> int:
+        """Delete this cache's checkpoint files; returns how many.
+
+        Entries written under other fingerprints in a shared directory
+        are left untouched.
+        """
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"{self._prefix}_*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"CellCache({str(self.directory)!r}, entries={len(self)})"

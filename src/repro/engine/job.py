@@ -1,0 +1,138 @@
+"""The unit of work of the exploration engine: one grid cell.
+
+A :class:`CellTask` is a tiny, picklable description of one ``(Vth, T)``
+combination — its grid position plus the child seeds derived from the
+experiment root seed.  :func:`run_cell_task` is the *pure* job function
+(Algorithm 1, lines 3-16, for a single cell): given a task and an
+:class:`ExplorationJobContext` it trains, gates and attacks one model and
+returns a :class:`~repro.robustness.results.CellResult`.
+
+Because seeds are derived in the task (not from execution order), the
+same task produces bitwise-identical results whether it runs serially,
+in a worker process, or in a different position of the grid sweep — the
+property the parallel scheduler and the resumable cache both rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+from multiprocessing import current_process
+
+from repro.data.dataset import ArrayDataset
+from repro.nn.module import Module
+from repro.robustness.config import ExplorationConfig
+from repro.robustness.learnability import train_and_score
+from repro.robustness.results import CellResult
+from repro.robustness.security import robustness_curve
+from repro.utils.seeding import SeedSequence
+
+__all__ = [
+    "CellTask",
+    "ExplorationJobContext",
+    "build_cell_tasks",
+    "make_cell_task",
+    "run_cell_task",
+]
+
+ModelFactory = Callable[[float, int, int], Module]
+"""``(v_th, time_window, seed) -> model`` builder used per grid cell."""
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """Identity and derived seeds of one grid cell (picklable, tiny)."""
+
+    index: int
+    """Position in the declared grid order (row-major over thresholds)."""
+
+    v_th: float
+    """Firing threshold of this cell."""
+
+    time_window: int
+    """Time window of this cell."""
+
+    cell_seed: int
+    """Seed for model initialisation and training shuffling."""
+
+    attack_seed: int
+    """Seed for attack randomness (PGD random starts, noise draws)."""
+
+
+@dataclass
+class ExplorationJobContext:
+    """Everything a worker needs to evaluate any cell of one exploration.
+
+    Shipped to worker processes once per pool (via fork inheritance), so
+    datasets are not re-pickled per task.
+    """
+
+    model_factory: ModelFactory
+    train_set: ArrayDataset
+    test_set: ArrayDataset
+    config: ExplorationConfig
+
+
+def make_cell_task(
+    seeds: SeedSequence, index: int, v_th: float, time_window: int
+) -> CellTask:
+    """The single place a cell's seeds are derived from its identity.
+
+    Child seeds are keyed by the *raw* ``(v_th, time_window)`` values,
+    matching the historical serial explorer exactly, so results remain
+    reproducible against pre-engine runs.
+    """
+    return CellTask(
+        index=index,
+        v_th=float(v_th),
+        time_window=int(time_window),
+        cell_seed=seeds.child_seed("cell", v_th, time_window),
+        attack_seed=seeds.child_seed("attack", v_th, time_window),
+    )
+
+
+def build_cell_tasks(config: ExplorationConfig) -> list[CellTask]:
+    """Expand a config into the full, deterministically-seeded task list."""
+    seeds = SeedSequence(config.seed)
+    tasks: list[CellTask] = []
+    for v_th in config.v_thresholds:
+        for time_window in config.time_windows:
+            tasks.append(make_cell_task(seeds, len(tasks), v_th, time_window))
+    return tasks
+
+
+def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
+    """Run learnability + security analysis for one grid cell (pure)."""
+    start = time.perf_counter()
+    config = context.config
+    model = context.model_factory(task.v_th, task.time_window, task.cell_seed)
+    training = replace(config.training, seed=task.cell_seed & 0x7FFFFFFF)
+    learn = train_and_score(
+        model,
+        context.train_set,
+        context.test_set,
+        training,
+        config.accuracy_threshold,
+    )
+    robustness: dict[float, float] = {}
+    if learn.learnable:
+        curve = robustness_curve(
+            model,
+            context.test_set,
+            config.epsilons,
+            lambda eps: config.build_attack(eps, seed=task.attack_seed),
+            label=f"(Vth={task.v_th:g}, T={task.time_window})",
+            batch_size=config.attack_batch_size,
+        )
+        robustness = dict(zip(curve.epsilons, curve.robustness))
+    return CellResult(
+        v_th=task.v_th,
+        time_window=task.time_window,
+        clean_accuracy=learn.clean_accuracy,
+        learnable=learn.learnable,
+        diverged=learn.diverged,
+        robustness=robustness,
+        elapsed_seconds=time.perf_counter() - start,
+        worker=current_process().name,
+    )

@@ -1,0 +1,225 @@
+"""Serial / multi-process scheduler for cell jobs.
+
+:func:`run_cell_tasks` drives a list of :class:`~repro.engine.job.CellTask`
+through :func:`~repro.engine.job.run_cell_task`, either in-process
+(``jobs=1``) or on a ``multiprocessing`` fork pool (``jobs>1``).  Because
+every task carries its own derived seeds, the two modes produce identical
+:class:`~repro.robustness.results.CellResult` values — parallelism only
+changes wall-clock, never science.
+
+Cache integration happens here, in the parent process: completed cells are
+checkpointed as they arrive (so an interrupted parallel run still resumes),
+and with ``resume=True`` cached cells are served without dispatching work.
+
+The pool uses the ``fork`` start method so the job context (datasets,
+model factory — often a closure) is inherited rather than pickled; on
+platforms without ``fork`` the scheduler degrades to serial execution
+with a warning rather than failing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.engine.job import CellTask, ExplorationJobContext, run_cell_task
+from repro.robustness.results import CellResult
+from repro.utils.logging import get_logger
+
+__all__ = ["ScheduleStats", "run_cell_tasks"]
+
+_logger = get_logger("engine")
+
+ProgressCallback = Callable[[CellTask, CellResult, bool], None]
+"""``(task, cell, from_cache)`` invoked in the parent after each cell."""
+
+# Worker-side context, installed once per pool by the initializer so tasks
+# (tiny dataclasses) are the only per-job pickling traffic.
+_WORKER_CONTEXT: ExplorationJobContext | None = None
+
+
+def _init_worker(context: ExplorationJobContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_in_worker(task: CellTask) -> tuple[int, CellResult]:
+    assert _WORKER_CONTEXT is not None, "worker pool initialized without context"
+    return task.index, run_cell_task(_WORKER_CONTEXT, task)
+
+
+@dataclass
+class ScheduleStats:
+    """Accounting of one scheduler invocation (ends up in result metadata)."""
+
+    jobs: int
+    """Worker processes actually used (1 = serial)."""
+
+    total_cells: int
+    cached_cells: int
+    """Cells served from checkpoints instead of being computed."""
+
+    computed_cells: int
+    elapsed_seconds: float
+    """Parent-side wall clock for the whole schedule."""
+
+    workers: list[str] = field(default_factory=list)
+    """Distinct process names that computed at least one cell."""
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "jobs": self.jobs,
+            "total_cells": self.total_cells,
+            "cached_cells": self.cached_cells,
+            "computed_cells": self.computed_cells,
+            "elapsed_seconds": self.elapsed_seconds,
+            "workers": list(self.workers),
+        }
+
+
+def _fork_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def run_cell_tasks(
+    context: ExplorationJobContext,
+    tasks: Sequence[CellTask],
+    jobs: int = 1,
+    cache=None,
+    resume: bool = False,
+    progress: ProgressCallback | None = None,
+) -> tuple[list[CellResult], ScheduleStats]:
+    """Execute ``tasks`` and return ``(cells, stats)`` in task order.
+
+    Parameters
+    ----------
+    context:
+        Shared job inputs (factory, datasets, config).
+    tasks:
+        Cells to evaluate (from :func:`~repro.engine.job.build_cell_tasks`).
+    jobs:
+        Worker processes; ``1`` runs in-process.  Capped at the number of
+        pending cells.
+    cache:
+        Optional :class:`~repro.engine.cache.CellCache`.  Completed cells
+        are always checkpointed through it; cached cells are *reused* only
+        when ``resume`` is set.
+    resume:
+        Serve already-checkpointed cells from ``cache`` instead of
+        recomputing them.  Requires ``cache`` — resuming without a
+        checkpoint store would silently recompute everything.
+    progress:
+        Parent-side callback per completed cell (logging, UIs).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if resume and cache is None:
+        raise ValueError("resume=True requires a cache to resume from")
+    start = time.perf_counter()
+    results: dict[int, CellResult] = {}
+    by_index = {task.index: task for task in tasks}
+    if len(by_index) != len(tasks):
+        raise ValueError("task indices must be unique")
+
+    pending: list[CellTask] = []
+    cached = 0
+    for task in tasks:
+        cell = cache.get(task) if (cache is not None and resume) else None
+        if cell is not None:
+            results[task.index] = cell
+            cached += 1
+            if progress is not None:
+                progress(task, cell, True)
+        else:
+            pending.append(task)
+    if resume and cached == 0 and tasks:
+        if getattr(cache, "any_entries", lambda: False)():
+            # Checkpoints exist but none match: a mispointed cache
+            # directory or a changed config/fingerprint — the cases where
+            # "resume" would otherwise silently recompute everything.
+            _logger.warning(
+                "resume requested but none of the existing checkpoints "
+                "match this configuration; computing all %d cells from "
+                "scratch",
+                len(tasks),
+            )
+        else:
+            # Interrupted before the first cell completed: nothing to
+            # resume from yet, which is expected, not suspicious.
+            _logger.info(
+                "resume requested but no checkpoints exist yet; "
+                "computing all %d cells",
+                len(tasks),
+            )
+
+    computed_workers: set[str] = set()
+    cache_write_failed = False
+
+    def record(task: CellTask, cell: CellResult) -> None:
+        nonlocal cache_write_failed
+        results[task.index] = cell
+        if cell.worker:
+            computed_workers.add(cell.worker)
+        if cache is not None and not cache_write_failed:
+            # Checkpointing is a convenience; an unwritable cache directory
+            # (read-only cwd, full disk) must not abort the computation.
+            # After the first failed write, stop attempting further ones.
+            try:
+                cache.put(task, cell)
+            except OSError as error:
+                cache_write_failed = True
+                _logger.warning(
+                    "cell checkpointing disabled for the rest of this run: "
+                    "cache write failed (%s)",
+                    error,
+                )
+        if progress is not None:
+            progress(task, cell, False)
+
+    effective_jobs = min(jobs, len(pending)) if pending else 1
+    if effective_jobs > 1:
+        mp_context = _fork_context()
+        if mp_context is None:
+            _logger.warning(
+                "multiprocessing 'fork' start method unavailable; "
+                "falling back to serial execution"
+            )
+            effective_jobs = 1
+    if effective_jobs > 1:
+        # ProcessPoolExecutor rather than multiprocessing.Pool: a worker
+        # dying hard (OOM kill, segfault) raises BrokenProcessPool here
+        # instead of hanging imap forever.  Completed cells were already
+        # checkpointed via record(), so --resume picks up after the crash.
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(
+            max_workers=effective_jobs,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(context,),
+        ) as pool:
+            futures = [pool.submit(_run_in_worker, task) for task in pending]
+            for future in as_completed(futures):
+                index, cell = future.result()
+                record(by_index[index], cell)
+    else:
+        for task in pending:
+            record(task, run_cell_task(context, task))
+
+    cells = [results[task.index] for task in tasks]
+    stats = ScheduleStats(
+        jobs=effective_jobs,
+        total_cells=len(tasks),
+        cached_cells=cached,
+        computed_cells=len(pending),
+        elapsed_seconds=time.perf_counter() - start,
+        workers=sorted(computed_workers),
+    )
+    return cells, stats

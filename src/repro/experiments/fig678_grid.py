@@ -9,6 +9,9 @@ One run of Algorithm 1 produces all three artifacts:
 
 from __future__ import annotations
 
+from pathlib import Path
+
+from repro.engine import CellCache, context_fingerprint
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.workloads import build_grid_model_factory, load_profile_data
 from repro.robustness.config import ExplorationConfig
@@ -22,8 +25,30 @@ __all__ = ["fig6_table", "fig7_table", "fig8_table", "run_grid_exploration"]
 def run_grid_exploration(
     profile: ExperimentProfile | str = "smoke",
     verbose: bool = False,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> ExplorationResult:
-    """Run Algorithm 1 over the profile's grid (Figs. 6-8 in one pass)."""
+    """Run Algorithm 1 over the profile's grid (Figs. 6-8 in one pass).
+
+    Parameters
+    ----------
+    profile:
+        Experiment scale (name or :class:`ExperimentProfile`).
+    verbose:
+        Log one line per completed cell.
+    jobs:
+        Worker processes for cell evaluation (``1`` = serial; parallel
+        runs produce bitwise-identical cell values).
+    cache_dir:
+        Directory for per-cell JSON checkpoints.  When set, completed
+        cells are written there as the run progresses.
+    resume:
+        Reuse checkpointed cells from ``cache_dir`` instead of
+        recomputing them (continue an interrupted run).
+    """
+    if resume and cache_dir is None:
+        raise ValueError("resume=True requires cache_dir to resume from")
     if isinstance(profile, str):
         profile = get_profile(profile)
     train, test, (clip_min, clip_max) = load_profile_data(profile)
@@ -46,7 +71,21 @@ def run_grid_exploration(
         test_set=attack_subset,
         config=config,
     )
-    result = explorer.run(verbose=verbose)
+    cache = None
+    if cache_dir is not None:
+        # The factory cannot be hashed; tags pin everything it derives from.
+        fingerprint = context_fingerprint(
+            explorer.context,
+            tags={
+                "experiment": "fig678_grid",
+                "profile": profile.name,
+                "model": profile.snn_model,
+                "image_size": profile.image_size,
+                "input_scale": profile.input_scale,
+            },
+        )
+        cache = CellCache(cache_dir, fingerprint)
+    result = explorer.run(verbose=verbose, jobs=jobs, cache=cache, resume=resume)
     result.metadata["profile"] = profile.name
     return result
 

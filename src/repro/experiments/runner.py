@@ -6,6 +6,11 @@ Run the Figure-6/7/8 grid at smoke scale and save everything::
 
     python -m repro.experiments grid --profile smoke --out results/
 
+Run the grid on two worker processes, then continue after an interrupt::
+
+    python -m repro.experiments grid --profile smoke --jobs 2
+    python -m repro.experiments grid --profile smoke --jobs 2 --resume
+
 Run the motivational study::
 
     python -m repro.experiments fig1 --profile smoke
@@ -20,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections.abc import Callable
 from pathlib import Path
 
 from repro.experiments.ablations import (
@@ -68,11 +74,19 @@ def _run_fig1(profile, out_dir: Path | None) -> None:
     _write_json(out_dir, f"fig1_{profile.name}", result.as_dict())
 
 
-def _run_grid(profile, out_dir: Path | None) -> None:
+def _run_grid(
+    profile,
+    out_dir: Path | None,
+    jobs: int = 1,
+    cache_dir: Path | None = None,
+    resume: bool = False,
+) -> None:
     from repro.errors import ExplorationError
     from repro.robustness import select_sweet_spots
 
-    result = run_grid_exploration(profile, verbose=True)
+    result = run_grid_exploration(
+        profile, verbose=True, jobs=jobs, cache_dir=cache_dir, resume=resume
+    )
     print(fig6_table(result))
     print()
     print(fig7_table(result))
@@ -120,23 +134,113 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory for JSON result artifacts (optional)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for grid cells (default: 1, serial; "
+        "parallel runs give identical results)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse checkpointed grid cells from a previous (possibly "
+        "interrupted) run instead of recomputing them",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable per-cell checkpointing entirely",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cell checkpoint directory (default: <out>/cell_cache, or "
+        ".repro_cache/cells without --out)",
+    )
     args = parser.parse_args(argv)
     profile = get_profile(args.profile)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.resume and args.no_cache:
+        parser.error("--resume needs checkpoints; drop --no-cache")
+    if args.cache_dir is not None and args.no_cache:
+        parser.error("--cache-dir conflicts with --no-cache")
+    grid_flags_used = (
+        args.jobs != 1 or args.resume or args.no_cache or args.cache_dir is not None
+    )
+    if grid_flags_used and args.experiment not in ("grid", "all"):
+        parser.error(
+            "--jobs/--resume/--cache-dir/--no-cache apply to the grid "
+            "experiment only"
+        )
+    cache_dir: Path | None = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache_dir = args.cache_dir
+        elif args.out is not None:
+            cache_dir = args.out / "cell_cache"
+        else:
+            cache_dir = Path(".repro_cache") / "cells"
 
+    planned: list[tuple[str, Callable[[], None]]] = []
     if args.experiment in ("fig1", "all"):
-        _run_fig1(profile, args.out)
+        planned.append(("fig1", lambda: _run_fig1(profile, args.out)))
     if args.experiment in ("grid", "all"):
-        _run_grid(profile, args.out)
+        planned.append(
+            (
+                "grid",
+                lambda: _run_grid(
+                    profile,
+                    args.out,
+                    jobs=args.jobs,
+                    cache_dir=cache_dir,
+                    resume=args.resume,
+                ),
+            )
+        )
     if args.experiment in ("fig9", "all"):
-        _run_fig9(profile, args.out)
-    if args.experiment in ("ablation-surrogate", "all"):
-        _run_ablation(run_surrogate_ablation, "surrogate", profile, args.out)
-    if args.experiment in ("ablation-encoding", "all"):
-        _run_ablation(run_encoding_ablation, "encoding", profile, args.out)
-    if args.experiment in ("ablation-reset", "all"):
-        _run_ablation(run_reset_ablation, "reset", profile, args.out)
-    if args.experiment in ("ablation-attack", "all"):
-        _run_ablation(run_attack_ablation, "attack", profile, args.out)
+        planned.append(("fig9", lambda: _run_fig9(profile, args.out)))
+    ablations = (
+        ("ablation-surrogate", run_surrogate_ablation, "surrogate"),
+        ("ablation-encoding", run_encoding_ablation, "encoding"),
+        ("ablation-reset", run_reset_ablation, "reset"),
+        ("ablation-attack", run_attack_ablation, "attack"),
+    )
+    for exp_name, runner, tag in ablations:
+        if args.experiment in (exp_name, "all"):
+            planned.append(
+                (
+                    exp_name,
+                    lambda runner=runner, tag=tag: _run_ablation(
+                        runner, tag, profile, args.out
+                    ),
+                )
+            )
+
+    # In "all" mode one failing experiment must not abort the rest: record
+    # the failure, keep producing the other artifacts, and report a
+    # non-zero exit at the end.  Single-experiment runs keep raising.
+    failed: list[str] = []
+    for name, step in planned:
+        try:
+            step()
+        except Exception as error:
+            if args.experiment != "all":
+                raise
+            failed.append(name)
+            print(
+                f"[failed] {name}: {type(error).__name__}: {error}",
+                file=sys.stderr,
+            )
+    if failed:
+        print(
+            f"{len(failed)}/{len(planned)} experiment(s) failed: "
+            + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -4,8 +4,8 @@ Pseudo-code of the paper (Algorithm 1) and its mapping here:
 
 .. code-block:: text
 
-    for i in 1..n:                      # v_thresholds        (run loop)
-      for j in 1..m:                    # time_windows        (run loop)
+    for i in 1..n:                      # v_thresholds        (cell tasks)
+      for j in 1..m:                    # time_windows        (cell tasks)
         Train(Sij)                      # learnability.train_and_score
         if Accuracy(Sij) >= Ath:        # LearnabilityResult.learnable
           for k in 1..p:                # epsilons
@@ -15,22 +15,30 @@ Pseudo-code of the paper (Algorithm 1) and its mapping here:
 Every grid cell derives independent child seeds for model initialisation,
 training shuffling and attack randomness from the root seed, so cells are
 reproducible in isolation and independent of evaluation order.
+
+Execution is delegated to :mod:`repro.engine`: the explorer expands its
+config into picklable :class:`~repro.engine.job.CellTask` jobs and hands
+them to the scheduler, which can run them serially or across worker
+processes (``jobs > 1``) with bitwise-identical results, and checkpoint /
+resume them through a :class:`~repro.engine.cache.CellCache`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import replace
+from typing import TYPE_CHECKING
 
 from repro.data.dataset import ArrayDataset
 from repro.errors import ExplorationError
 from repro.nn.module import Module
 from repro.robustness.config import ExplorationConfig
-from repro.robustness.learnability import train_and_score
 from repro.robustness.results import CellResult, ExplorationResult
-from repro.robustness.security import robustness_curve
 from repro.utils.logging import get_logger
 from repro.utils.seeding import SeedSequence
+
+if TYPE_CHECKING:  # imported lazily at runtime: engine.job imports this package
+    from repro.engine.cache import CellCache
+    from repro.engine.job import CellTask, ExplorationJobContext
 
 __all__ = ["RobustnessExplorer"]
 
@@ -71,65 +79,92 @@ class RobustnessExplorer:
             raise ExplorationError("train and test sets must be non-empty")
         self._seeds = SeedSequence(self.config.seed)
 
+    @property
+    def context(self) -> "ExplorationJobContext":
+        """The engine job context shared by every cell of this exploration."""
+        from repro.engine.job import ExplorationJobContext
+
+        return ExplorationJobContext(
+            model_factory=self.model_factory,
+            train_set=self.train_set,
+            test_set=self.test_set,
+            config=self.config,
+        )
+
     # -- single cell ------------------------------------------------------------
+
+    def tasks(self) -> "list[CellTask]":
+        """Deterministically seeded task list covering the whole grid."""
+        from repro.engine.job import build_cell_tasks
+
+        return build_cell_tasks(self.config)
 
     def explore_cell(self, v_th: float, time_window: int) -> CellResult:
         """Run learnability + security analysis for one combination."""
-        cell_seed = self._seeds.child_seed("cell", v_th, time_window)
-        model = self.model_factory(v_th, time_window, cell_seed)
-        training = replace(self.config.training, seed=cell_seed & 0x7FFFFFFF)
-        learn = train_and_score(
-            model,
-            self.train_set,
-            self.test_set,
-            training,
-            self.config.accuracy_threshold,
-        )
-        robustness: dict[float, float] = {}
-        if learn.learnable:
-            attack_seed = self._seeds.child_seed("attack", v_th, time_window)
-            curve = robustness_curve(
-                model,
-                self.test_set,
-                self.config.epsilons,
-                lambda eps: self.config.build_attack(eps, seed=attack_seed),
-                label=f"(Vth={v_th:g}, T={time_window})",
-                batch_size=self.config.attack_batch_size,
-            )
-            robustness = dict(zip(curve.epsilons, curve.robustness))
-        return CellResult(
-            v_th=float(v_th),
-            time_window=int(time_window),
-            clean_accuracy=learn.clean_accuracy,
-            learnable=learn.learnable,
-            diverged=learn.diverged,
-            robustness=robustness,
-        )
+        from repro.engine.job import make_cell_task, run_cell_task
+
+        task = make_cell_task(self._seeds, 0, v_th, time_window)
+        return run_cell_task(self.context, task)
 
     # -- full grid -----------------------------------------------------------------
 
-    def run(self, verbose: bool = False) -> ExplorationResult:
-        """Execute the full grid exploration and collect results."""
-        cells: list[CellResult] = []
-        total = len(self.config.v_thresholds) * len(self.config.time_windows)
+    def run(
+        self,
+        verbose: bool = False,
+        jobs: int = 1,
+        cache: "CellCache | None" = None,
+        resume: bool = False,
+    ) -> ExplorationResult:
+        """Execute the full grid exploration and collect results.
+
+        Parameters
+        ----------
+        verbose:
+            Log one line per completed cell.
+        jobs:
+            Worker processes for cell evaluation; ``1`` runs serially.
+            Parallel runs produce bitwise-identical cell values.
+        cache:
+            Optional cell checkpoint store; completed cells are always
+            written through it.
+        resume:
+            Reuse cells already present in ``cache`` (skip recomputing
+            them) — the "continue an interrupted run" switch.  Requires
+            ``cache``.
+        """
+        from repro.engine.scheduler import run_cell_tasks
+
+        tasks = self.tasks()
+        total = len(tasks)
         done = 0
-        for v_th in self.config.v_thresholds:
-            for time_window in self.config.time_windows:
-                cell = self.explore_cell(v_th, time_window)
-                cells.append(cell)
-                done += 1
-                if verbose:
-                    status = "learnable" if cell.learnable else "rejected"
-                    _logger.info(
-                        "[%d/%d] Vth=%g T=%d acc=%.3f %s %s",
-                        done,
-                        total,
-                        v_th,
-                        time_window,
-                        cell.clean_accuracy,
-                        status,
-                        {e: round(r, 3) for e, r in cell.robustness.items()},
-                    )
+
+        def progress(task: "CellTask", cell: CellResult, from_cache: bool) -> None:
+            nonlocal done
+            done += 1
+            if not verbose:
+                return
+            status = "learnable" if cell.learnable else "rejected"
+            if from_cache:
+                status += " (cached)"
+            _logger.info(
+                "[%d/%d] Vth=%g T=%d acc=%.3f %s %s",
+                done,
+                total,
+                task.v_th,
+                task.time_window,
+                cell.clean_accuracy,
+                status,
+                {e: round(r, 3) for e, r in cell.robustness.items()},
+            )
+
+        cells, stats = run_cell_tasks(
+            self.context,
+            tasks,
+            jobs=jobs,
+            cache=cache,
+            resume=resume,
+            progress=progress,
+        )
         return ExplorationResult(
             v_thresholds=self.config.v_thresholds,
             time_windows=self.config.time_windows,
@@ -142,5 +177,6 @@ class RobustnessExplorer:
                 "seed": self.config.seed,
                 "num_train": len(self.train_set),
                 "num_test": len(self.test_set),
+                "engine": stats.as_dict(),
             },
         )

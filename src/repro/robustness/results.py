@@ -23,6 +23,16 @@ class CellResult:
     robustness: dict[float, float] = field(default_factory=dict)
     """Map ``epsilon -> Robustness(epsilon)``; empty for non-learnable cells."""
 
+    elapsed_seconds: float = field(default=0.0, compare=False)
+    """Wall-clock time spent evaluating this cell (train + attacks).
+
+    Excluded from equality so scientifically identical runs compare equal
+    regardless of where or how fast they executed.
+    """
+
+    worker: str = field(default="", compare=False)
+    """Process name that evaluated the cell (``MainProcess`` when serial)."""
+
     def as_dict(self) -> dict:
         """JSON-friendly representation (epsilon keys stringified)."""
         return {
@@ -32,6 +42,8 @@ class CellResult:
             "learnable": self.learnable,
             "diverged": self.diverged,
             "robustness": {repr(k): v for k, v in self.robustness.items()},
+            "elapsed_seconds": self.elapsed_seconds,
+            "worker": self.worker,
         }
 
     @staticmethod
@@ -44,6 +56,8 @@ class CellResult:
             learnable=bool(payload["learnable"]),
             diverged=bool(payload.get("diverged", False)),
             robustness={float(k): float(v) for k, v in payload["robustness"].items()},
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            worker=str(payload.get("worker", "")),
         )
 
 

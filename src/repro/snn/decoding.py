@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.nn.module import Module
 from repro.tensor.tensor import Tensor, stack
 
@@ -23,13 +25,25 @@ __all__ = [
 
 
 class _TraceDecoder(Module):
-    """Shared input validation for trace decoders."""
+    """Shared input validation for trace decoders.
+
+    Every decoder also exposes ``decode_numpy`` — the graph-free twin of
+    :meth:`forward` used by the fused ``no_grad()`` inference path.  It
+    applies the same numpy reduction to raw arrays, so decoded logits are
+    bitwise identical to the autograd path.
+    """
 
     @staticmethod
     def _stacked(trace: Sequence[Tensor]) -> Tensor:
         if not trace:
             raise ValueError("decoder received an empty trace")
         return stack(list(trace), axis=0)  # (T, N, C)
+
+    @staticmethod
+    def _stacked_numpy(trace: Sequence[np.ndarray]) -> np.ndarray:
+        if not trace:
+            raise ValueError("decoder received an empty trace")
+        return np.stack(list(trace), axis=0)  # (T, N, C)
 
 
 class MaxMembraneDecoder(_TraceDecoder):
@@ -38,12 +52,18 @@ class MaxMembraneDecoder(_TraceDecoder):
     def forward(self, trace: Sequence[Tensor]) -> Tensor:
         return self._stacked(trace).max(axis=0)
 
+    def decode_numpy(self, trace: Sequence[np.ndarray]) -> np.ndarray:
+        return self._stacked_numpy(trace).max(axis=0)
+
 
 class MeanMembraneDecoder(_TraceDecoder):
     """Logit = time-averaged membrane value."""
 
     def forward(self, trace: Sequence[Tensor]) -> Tensor:
         return self._stacked(trace).mean(axis=0)
+
+    def decode_numpy(self, trace: Sequence[np.ndarray]) -> np.ndarray:
+        return self._stacked_numpy(trace).mean(axis=0)
 
 
 class LastMembraneDecoder(_TraceDecoder):
@@ -54,9 +74,17 @@ class LastMembraneDecoder(_TraceDecoder):
             raise ValueError("decoder received an empty trace")
         return trace[-1]
 
+    def decode_numpy(self, trace: Sequence[np.ndarray]) -> np.ndarray:
+        if not trace:
+            raise ValueError("decoder received an empty trace")
+        return trace[-1]
+
 
 class SpikeCountDecoder(_TraceDecoder):
     """Logit = total spike count per output unit (for spiking readouts)."""
 
     def forward(self, trace: Sequence[Tensor]) -> Tensor:
         return self._stacked(trace).sum(axis=0)
+
+    def decode_numpy(self, trace: Sequence[np.ndarray]) -> np.ndarray:
+        return self._stacked_numpy(trace).sum(axis=0)

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.snn.neuron import LIFCell, LIFParameters, LIFState
-from repro.tensor.tensor import Tensor, apply_op
+from repro.tensor.tensor import Tensor, apply_op, promote_scalar
 from repro.utils.seeding import new_rng
 
 __all__ = ["ConstantCurrentLIFEncoder", "LatencyEncoder", "PoissonEncoder"]
@@ -52,10 +52,19 @@ class ConstantCurrentLIFEncoder(Module):
             raise ValueError(f"input_scale must be positive, got {input_scale}")
         self.cell = LIFCell(params)
         self.input_scale = input_scale
+        self._scale_cache: tuple[float, np.ndarray] | None = None
 
     def step(self, image: Tensor, state: LIFState | None = None) -> tuple[Tensor, LIFState]:
         """Advance the encoder population one step for (static) ``image``."""
         return self.cell.step(image * self.input_scale, state)
+
+    def step_numpy(self, image, state=None):
+        """Graph-free twin of :meth:`step` on raw arrays (no_grad hot path)."""
+        cached = self._scale_cache
+        if cached is None or cached[0] != self.input_scale:
+            cached = (self.input_scale, promote_scalar(self.input_scale))
+            self._scale_cache = cached
+        return self.cell.step_numpy(image * cached[1], state)
 
     def encode(self, image: Tensor, time_steps: int) -> list[Tensor]:
         """Unroll :meth:`step` for ``time_steps`` and collect spike tensors."""

@@ -18,14 +18,35 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.nn.container import ModuleList
 from repro.nn.module import Module
 from repro.snn.decoding import MaxMembraneDecoder
 from repro.snn.encoding import ConstantCurrentLIFEncoder
 from repro.snn.neuron import LICell, LIFCell, LIFParameters
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, is_grad_enabled
 
 __all__ = ["SpikingLayer", "SpikingNetwork", "SpikingReadout"]
+
+
+def _has_numpy_twin(obj: object, primary: str, twin: str) -> bool:
+    """Whether ``obj`` can be trusted on the fused path for ``primary``.
+
+    True iff ``twin`` exists and is defined at (or below) the class in the
+    MRO that defines ``primary`` — a subclass overriding ``primary`` (e.g.
+    custom ``step`` dynamics) without a matching ``twin`` override must
+    fall back to the Tensor path instead of silently inheriting a
+    mismatched numpy implementation.
+    """
+    mro = type(obj).__mro__
+    twin_cls = next((c for c in mro if twin in vars(c)), None)
+    if twin_cls is None:
+        return False
+    primary_cls = next((c for c in mro if primary in vars(c)), None)
+    if primary_cls is None:
+        return True
+    return mro.index(twin_cls) <= mro.index(primary_cls)
 
 
 class SpikingLayer(Module):
@@ -139,8 +160,16 @@ class SpikingNetwork(Module):
     # -- simulation -----------------------------------------------------------
 
     def forward(self, image: Tensor) -> Tensor:
-        """Simulate ``time_steps`` steps and decode logits ``(N, C)``."""
+        """Simulate ``time_steps`` steps and decode logits ``(N, C)``.
+
+        When gradients are globally disabled (``with no_grad():``) the
+        simulation switches to :meth:`_forward_inference` — a fused time
+        loop on raw numpy arrays that produces bitwise-identical logits
+        without Tensor/graph overhead.
+        """
         image = self._as_tensor(image)
+        if not is_grad_enabled() and self._fused_ready():
+            return self._forward_inference(image.data)
         encoder_state = None
         layer_states: list = [None] * len(self.layers)
         readout_state = None
@@ -152,6 +181,76 @@ class SpikingNetwork(Module):
             membrane, readout_state = self.readout.step(spikes, readout_state)
             trace.append(membrane)
         return self.decoder(trace)
+
+    def _fused_ready(self) -> bool:
+        """Whether the whole stack honours the fused-inference contract.
+
+        Stages that customise the Tensor-path dynamics (overridden
+        ``SpikingLayer``/``SpikingReadout.step``, or cells overriding
+        ``step`` without a matching ``step_numpy``) disqualify the fused
+        path — the network then runs the ordinary loop, which is still
+        graph-free under ``no_grad()``, just slower.
+        """
+        if any(type(layer).step is not SpikingLayer.step for layer in self.layers):
+            return False
+        if type(self.readout).step is not SpikingReadout.step:
+            return False
+        if not all(
+            _has_numpy_twin(layer.cell, "step", "step_numpy") for layer in self.layers
+        ):
+            return False
+        # Encoders delegating to an inner cell (ConstantCurrentLIFEncoder)
+        # are only as trustworthy as that cell.
+        encoder_cell = getattr(self.encoder, "cell", None)
+        if encoder_cell is not None and not _has_numpy_twin(
+            encoder_cell, "step", "step_numpy"
+        ):
+            return False
+        return _has_numpy_twin(self.readout.cell, "step", "step_numpy")
+
+    def _forward_inference(self, image: np.ndarray) -> Tensor:
+        """Fused no-grad time loop over raw numpy arrays.
+
+        LIF/LI state updates and the trace decode run directly on arrays
+        (skipping surrogate-derivative evaluation and per-op Tensor
+        bookkeeping); synaptic transforms still go through their modules,
+        which record no graph while gradients are disabled.  Encoders or
+        decoders without a trustworthy numpy twin fall back to their
+        Tensor API.
+        """
+        encoder_step = (
+            self.encoder.step_numpy
+            if _has_numpy_twin(self.encoder, "step", "step_numpy")
+            else None
+        )
+        decode = (
+            self.decoder.decode_numpy
+            if _has_numpy_twin(self.decoder, "forward", "decode_numpy")
+            else None
+        )
+        encoder_state = None
+        layer_states: list = [None] * len(self.layers)
+        readout_state = None
+        trace: list[np.ndarray] = []
+        for _ in range(self.time_steps):
+            if encoder_step is not None:
+                spikes, encoder_state = encoder_step(image, encoder_state)
+            else:
+                out, encoder_state = self.encoder.step(Tensor(image), encoder_state)
+                spikes = out.data
+            for index, layer in enumerate(self.layers):
+                current = layer.transform(Tensor(spikes)).data
+                spikes, layer_states[index] = layer.cell.step_numpy(
+                    current, layer_states[index]
+                )
+            current = self.readout.transform(Tensor(spikes)).data
+            membrane, readout_state = self.readout.cell.step_numpy(
+                current, readout_state
+            )
+            trace.append(membrane)
+        if decode is not None:
+            return Tensor(decode(trace))
+        return self.decoder([Tensor(step) for step in trace])
 
     def spike_counts(self, image: Tensor) -> list[Tensor]:
         """Diagnostic: per-layer total spike counts for one forward pass.

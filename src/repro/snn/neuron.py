@@ -28,9 +28,44 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.nn.module import Module
 from repro.snn.surrogate import available_surrogates, spike_function
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, promote_scalar
 
-__all__ = ["LICell", "LIFCell", "LIFParameters", "LIFState", "LIState"]
+__all__ = ["LICell", "LIFCell", "LIFParameters", "LIFState", "LIState", "NumpyState"]
+
+NumpyState = tuple[np.ndarray, np.ndarray]
+"""Graph-free recurrent state ``(i, v)`` used by the fused inference path."""
+
+
+def _promote_params(params: LIFParameters) -> tuple[np.ndarray, ...]:
+    """Pre-promote the parameter scalars used by the fused numpy steps.
+
+    Returns ``(leak_scale, v_leak, v_th, one, v_reset, reset_drop,
+    synaptic_decay)``.  The values are invariant for a given (frozen)
+    params object, so the cells cache them identity-keyed instead of
+    re-promoting on every time step.
+    """
+    return (
+        promote_scalar(params.dt * params.tau_mem_inv),
+        promote_scalar(params.v_leak),
+        promote_scalar(params.v_th),
+        promote_scalar(1.0),
+        promote_scalar(params.v_reset),
+        promote_scalar(params.v_th - params.v_reset),
+        promote_scalar(params.synaptic_decay),
+    )
+
+
+def _promoted_constants(cell) -> tuple[np.ndarray, ...]:
+    """Promoted parameter scalars of a cell, cached per params identity.
+
+    ``LIFParameters`` is frozen and always swapped wholesale (e.g.
+    ``set_v_th`` assigns a fresh object), so object identity is a sound
+    cache key."""
+    cached = getattr(cell, "_promoted_cache", None)
+    if cached is None or cached[0] is not cell.params:
+        cached = (cell.params, _promote_params(cell.params))
+        cell._promoted_cache = cached
+    return cached[1]
 
 
 @dataclass(frozen=True)
@@ -168,6 +203,34 @@ class LIFCell(Module):
         i_new = i_decayed + input_current
         return spikes, LIFState(i=i_new, v=v_new)
 
+    def step_numpy(
+        self, input_current: np.ndarray, state: NumpyState | None = None
+    ) -> tuple[np.ndarray, NumpyState]:
+        """Graph-free twin of :meth:`step` operating on raw arrays.
+
+        Performs the exact same float arithmetic as :meth:`step` (so logits
+        stay bitwise identical to the autograd path) but skips Tensor
+        allocation and the surrogate-derivative evaluation — the hot path
+        for ``no_grad()`` inference.  Subclasses that change the dynamics
+        of :meth:`step` must override this method to match.
+        """
+        if state is None:
+            i_prev = np.zeros_like(input_current)
+            v_prev = np.zeros_like(input_current)
+        else:
+            i_prev, v_prev = state
+        scale, v_leak, v_th, one, v_reset, reset_drop, decay = _promoted_constants(self)
+        dv = scale * ((v_leak - v_prev) + i_prev)
+        v_decayed = v_prev + dv
+        x = v_decayed - v_th
+        spikes = (x > 0).astype(x.dtype)
+        if self.params.reset_mode == "hard":
+            v_new = v_decayed * (one - spikes) + v_reset * spikes
+        else:
+            v_new = v_decayed - spikes * reset_drop
+        i_new = i_prev * decay + input_current
+        return spikes, (i_new, v_new)
+
     def forward(self, input_current: Tensor, state: LIFState | None = None):
         return self.step(input_current, state)
 
@@ -207,6 +270,21 @@ class LICell(Module):
         v_new = state.v + dv
         i_new = state.i * p.synaptic_decay + input_current
         return v_new, LIState(i=i_new, v=v_new)
+
+    def step_numpy(
+        self, input_current: np.ndarray, state: NumpyState | None = None
+    ) -> tuple[np.ndarray, NumpyState]:
+        """Graph-free twin of :meth:`step` operating on raw arrays."""
+        if state is None:
+            i_prev = np.zeros_like(input_current)
+            v_prev = np.zeros_like(input_current)
+        else:
+            i_prev, v_prev = state
+        scale, v_leak, _v_th, _one, _v_reset, _drop, decay = _promoted_constants(self)
+        dv = scale * ((v_leak - v_prev) + i_prev)
+        v_new = v_prev + dv
+        i_new = i_prev * decay + input_current
+        return v_new, (i_new, v_new)
 
     def forward(self, input_current: Tensor, state: LIState | None = None):
         return self.step(input_current, state)

@@ -29,6 +29,7 @@ __all__ = [
     "maximum",
     "minimum",
     "no_grad",
+    "promote_scalar",
     "stack",
     "where",
 ]
@@ -102,6 +103,17 @@ def _as_array(value: object, dtype: np.dtype | None = None) -> np.ndarray:
     if not np.issubdtype(array.dtype, np.floating):
         array = array.astype(DEFAULT_DTYPE)
     return array
+
+
+def promote_scalar(value: object) -> np.ndarray:
+    """Coerce a scalar exactly as tensor operations do.
+
+    Graph-free fast paths (e.g. the fused SNN inference loop) use this so
+    their arithmetic promotes python and numpy scalars identically to the
+    autograd path — plain python scalars adopt the library default dtype,
+    numpy scalars keep their own — keeping results bitwise identical.
+    """
+    return _as_array(value)
 
 
 BackwardFn = Callable[[np.ndarray], tuple[np.ndarray | None, ...]]

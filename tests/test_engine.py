@@ -1,0 +1,385 @@
+"""The cell-job engine: jobs, scheduler, cache, and the CLI knobs.
+
+Uses a deliberately tiny workload (linear probe on random data, FGSM,
+one epoch) so serial-vs-parallel and cache semantics are exercised in
+well under a second per run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset
+from repro.engine import (
+    CellCache,
+    build_cell_tasks,
+    context_fingerprint,
+    run_cell_task,
+    run_cell_tasks,
+)
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import main
+from repro.robustness import CellResult, ExplorationConfig, ExplorationResult, RobustnessExplorer
+from repro.training.trainer import TrainingConfig
+
+
+def _tiny_sets() -> tuple[ArrayDataset, ArrayDataset]:
+    rng = np.random.default_rng(42)
+    train = ArrayDataset(rng.random((24, 1, 6, 6)).astype(np.float32), rng.integers(0, 4, 24))
+    test = ArrayDataset(rng.random((12, 1, 6, 6)).astype(np.float32), rng.integers(0, 4, 12))
+    return train, test
+
+
+def _factory(v_th: float, time_window: int, seed: int) -> nn.Module:
+    return nn.Sequential(nn.Flatten(), nn.Linear(36, 4, rng=seed))
+
+
+def _tiny_config(**overrides) -> ExplorationConfig:
+    settings = dict(
+        v_thresholds=(0.5, 1.0),
+        time_windows=(2,),
+        epsilons=(0.1,),
+        accuracy_threshold=0.0,
+        attack="fgsm",
+        attack_steps=1,
+        training=TrainingConfig(epochs=1, batch_size=8, learning_rate=0.01),
+        seed=7,
+    )
+    settings.update(overrides)
+    return ExplorationConfig(**settings)
+
+
+@pytest.fixture()
+def explorer() -> RobustnessExplorer:
+    train, test = _tiny_sets()
+    return RobustnessExplorer(_factory, train, test, _tiny_config())
+
+
+class TestTasks:
+    def test_tasks_cover_grid_with_unique_seeds(self, explorer):
+        tasks = explorer.tasks()
+        assert len(tasks) == 2
+        assert [t.index for t in tasks] == [0, 1]
+        assert len({t.cell_seed for t in tasks}) == 2
+        assert len({t.attack_seed for t in tasks}) == 2
+        assert {t.cell_seed for t in tasks}.isdisjoint({t.attack_seed for t in tasks})
+
+    def test_explore_cell_matches_grid_run(self, explorer):
+        # The single-cell API and the scheduled grid must agree exactly.
+        result = explorer.run()
+        assert explorer.explore_cell(0.5, 2) == result.cell(0.5, 2)
+
+    def test_run_cell_task_records_timing_and_worker(self, explorer):
+        task = explorer.tasks()[0]
+        cell = run_cell_task(explorer.context, task)
+        assert cell.elapsed_seconds > 0.0
+        assert cell.worker == "MainProcess"
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_results_identical_to_serial(self, explorer):
+        serial = explorer.run(jobs=1)
+        parallel = explorer.run(jobs=2)
+        assert serial.cells == parallel.cells
+        for cell_s, cell_p in zip(serial.cells, parallel.cells):
+            assert cell_s.clean_accuracy == cell_p.clean_accuracy
+            assert cell_s.robustness == cell_p.robustness
+        assert parallel.metadata["engine"]["jobs"] == 2
+        workers = parallel.metadata["engine"]["workers"]
+        assert workers and all(w != "MainProcess" for w in workers)
+
+    def test_jobs_capped_by_pending_cells(self, explorer):
+        result = explorer.run(jobs=16)
+        assert result.metadata["engine"]["jobs"] <= 2
+
+    def test_invalid_jobs_rejected(self, explorer):
+        with pytest.raises(ValueError):
+            explorer.run(jobs=0)
+
+
+class TestCellCache:
+    def test_put_get_roundtrip(self, explorer, tmp_path):
+        cache = CellCache(tmp_path, context_fingerprint(explorer.context))
+        task = explorer.tasks()[0]
+        assert cache.get(task) is None
+        cell = run_cell_task(explorer.context, task)
+        cache.put(task, cell)
+        assert cache.get(task) == cell
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, explorer, tmp_path):
+        cache = CellCache(tmp_path, context_fingerprint(explorer.context))
+        task = explorer.tasks()[0]
+        cache.put(task, run_cell_task(explorer.context, task))
+        cache.path_for(task).write_text("{not json")
+        assert cache.get(task) is None
+
+    def test_fingerprint_sensitive_to_config_and_tags(self, explorer):
+        base = context_fingerprint(explorer.context)
+        train, test = _tiny_sets()
+        other = RobustnessExplorer(_factory, train, test, _tiny_config(epsilons=(0.2,)))
+        assert context_fingerprint(other.context) != base
+        assert context_fingerprint(explorer.context, tags={"model": "x"}) != base
+
+    def test_clear_removes_entries(self, explorer, tmp_path):
+        cache = CellCache(tmp_path, context_fingerprint(explorer.context))
+        for task in explorer.tasks():
+            cache.put(task, run_cell_task(explorer.context, task))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestResume:
+    def _cache(self, explorer, tmp_path) -> CellCache:
+        return CellCache(tmp_path, context_fingerprint(explorer.context))
+
+    def test_full_resume_skips_all_cells(self, explorer, tmp_path):
+        cache = self._cache(explorer, tmp_path)
+        first = explorer.run(cache=cache)
+        assert first.metadata["engine"]["cached_cells"] == 0
+        resumed = explorer.run(cache=cache, resume=True)
+        assert resumed.metadata["engine"]["cached_cells"] == 2
+        assert resumed.metadata["engine"]["computed_cells"] == 0
+        assert resumed.cells == first.cells
+
+    def test_partial_resume_recomputes_only_missing(self, explorer, tmp_path):
+        cache = self._cache(explorer, tmp_path)
+        first = explorer.run(cache=cache)
+        # Simulate an interrupt that lost one checkpoint.
+        cache.path_for(explorer.tasks()[1]).unlink()
+        resumed = explorer.run(cache=cache, resume=True)
+        assert resumed.metadata["engine"]["cached_cells"] == 1
+        assert resumed.metadata["engine"]["computed_cells"] == 1
+        assert resumed.cells == first.cells
+
+    def test_without_resume_cache_is_write_only(self, explorer, tmp_path):
+        cache = self._cache(explorer, tmp_path)
+        explorer.run(cache=cache)
+        again = explorer.run(cache=cache)
+        assert again.metadata["engine"]["cached_cells"] == 0
+        assert again.metadata["engine"]["computed_cells"] == 2
+
+    def test_resume_without_cache_rejected(self, explorer):
+        with pytest.raises(ValueError, match="resume"):
+            explorer.run(resume=True)
+
+    def test_workers_reflect_only_this_invocation(self, explorer, tmp_path):
+        cache = self._cache(explorer, tmp_path)
+        explorer.run(cache=cache, jobs=2)
+        resumed = explorer.run(cache=cache, resume=True)
+        # All cells came from checkpoints: the old pool workers must not
+        # be credited with work in this run.
+        assert resumed.metadata["engine"]["workers"] == []
+        # ...but per-cell provenance is preserved.
+        assert all(c.worker and c.worker != "MainProcess" for c in resumed.cells)
+
+
+class TestSchedulerUnits:
+    def test_duplicate_task_indices_rejected(self, explorer):
+        task = explorer.tasks()[0]
+        with pytest.raises(ValueError):
+            run_cell_tasks(explorer.context, [task, task])
+
+    def test_build_cell_tasks_is_deterministic(self):
+        config = _tiny_config()
+        assert build_cell_tasks(config) == build_cell_tasks(config)
+
+
+def _stub_result() -> ExplorationResult:
+    cell = CellResult(
+        v_th=1.0,
+        time_window=8,
+        clean_accuracy=0.9,
+        learnable=True,
+        robustness={1.0: 0.5},
+    )
+    return ExplorationResult(
+        v_thresholds=(1.0,), time_windows=(8,), cells=[cell], metadata={}
+    )
+
+
+class TestRunnerCLIFlags:
+    def test_grid_flags_threaded_and_json_written(self, monkeypatch, tmp_path, capsys):
+        captured = {}
+
+        def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False):
+            captured.update(
+                profile=profile.name, jobs=jobs, cache_dir=cache_dir, resume=resume
+            )
+            return _stub_result()
+
+        monkeypatch.setattr(runner_module, "run_grid_exploration", fake_grid)
+        code = main(
+            ["grid", "--profile", "micro", "--out", str(tmp_path), "--jobs", "3", "--resume"]
+        )
+        assert code == 0
+        assert captured == {
+            "profile": "micro",
+            "jobs": 3,
+            "cache_dir": tmp_path / "cell_cache",
+            "resume": True,
+        }
+        saved = tmp_path / "grid_micro.json"
+        assert saved.exists()
+        payload = json.loads(saved.read_text())
+        assert payload["cells"][0]["v_th"] == 1.0
+
+    def test_no_cache_disables_checkpoint_dir(self, monkeypatch, tmp_path, capsys):
+        captured = {}
+
+        def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False):
+            captured["cache_dir"] = cache_dir
+            return _stub_result()
+
+        monkeypatch.setattr(runner_module, "run_grid_exploration", fake_grid)
+        assert main(["grid", "--profile", "micro", "--out", str(tmp_path), "--no-cache"]) == 0
+        assert captured["cache_dir"] is None
+
+    def test_explicit_cache_dir_wins(self, monkeypatch, tmp_path, capsys):
+        captured = {}
+
+        def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False):
+            captured["cache_dir"] = cache_dir
+            return _stub_result()
+
+        monkeypatch.setattr(runner_module, "run_grid_exploration", fake_grid)
+        custom = tmp_path / "ckpt"
+        code = main(
+            ["grid", "--profile", "micro", "--out", str(tmp_path), "--cache-dir", str(custom)]
+        )
+        assert code == 0
+        assert captured["cache_dir"] == custom
+
+    def test_resume_with_no_cache_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["grid", "--profile", "micro", "--resume", "--no-cache"])
+
+    def test_cache_dir_with_no_cache_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["grid", "--profile", "micro", "--no-cache", "--cache-dir", str(tmp_path)]
+            )
+
+    def test_grid_flags_rejected_for_other_experiments(self):
+        for argv in (
+            ["fig9", "--profile", "micro", "--jobs", "2"],
+            ["fig1", "--profile", "micro", "--resume"],
+            ["ablation-reset", "--profile", "micro", "--no-cache"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["grid", "--profile", "micro", "--jobs", "0"])
+
+
+class TestRunnerAllMode:
+    def _stub_everything(self, monkeypatch, ran, boom=()):
+        def make(name):
+            def step(*args, **kwargs):
+                if name in boom:
+                    raise RuntimeError(f"{name} exploded")
+                ran.append(name)
+
+            return step
+
+        monkeypatch.setattr(runner_module, "_run_fig1", make("fig1"))
+        monkeypatch.setattr(runner_module, "_run_grid", make("grid"))
+        monkeypatch.setattr(runner_module, "_run_fig9", make("fig9"))
+        monkeypatch.setattr(
+            runner_module, "_run_ablation", lambda fn, tag, *a, **k: make(tag)()
+        )
+
+    def test_one_failure_does_not_abort_the_rest(self, monkeypatch, capsys):
+        ran: list[str] = []
+        self._stub_everything(monkeypatch, ran, boom=("fig1",))
+        code = main(["all", "--profile", "micro"])
+        assert code == 1
+        assert ran == ["grid", "fig9", "surrogate", "encoding", "reset", "attack"]
+        err = capsys.readouterr().err
+        assert "[failed] fig1" in err and "fig1 exploded" in err
+
+    def test_all_green_returns_zero(self, monkeypatch, capsys):
+        ran: list[str] = []
+        self._stub_everything(monkeypatch, ran)
+        assert main(["all", "--profile", "micro"]) == 0
+        assert len(ran) == 7
+
+    def test_single_experiment_failure_still_raises(self, monkeypatch):
+        ran: list[str] = []
+        self._stub_everything(monkeypatch, ran, boom=("fig1",))
+        with pytest.raises(RuntimeError):
+            main(["fig1", "--profile", "micro"])
+
+
+class TestSharedCacheDirectory:
+    def test_len_and_clear_scoped_to_fingerprint(self, explorer, tmp_path):
+        cache_a = CellCache(tmp_path, context_fingerprint(explorer.context))
+        cache_b = CellCache(tmp_path, "f" * 64)
+        task = explorer.tasks()[0]
+        cell = run_cell_task(explorer.context, task)
+        cache_a.put(task, cell)
+        cache_b.put(task, cell)
+        assert len(cache_a) == 1 and len(cache_b) == 1
+        assert cache_a.clear() == 1
+        # The sibling cache's checkpoint survived.
+        assert len(cache_b) == 1
+        assert cache_b.get(task) == cell
+
+
+class TestResumeDiagnostics:
+    def test_empty_cache_resume_is_not_a_warning(self, explorer, tmp_path, caplog):
+        import logging
+
+        cache = CellCache(tmp_path, context_fingerprint(explorer.context))
+        with caplog.at_level(logging.INFO, logger="repro.engine"):
+            explorer.run(cache=cache, resume=True)
+        warnings = [r for r in caplog.records if r.levelno >= logging.WARNING]
+        assert warnings == []
+
+    def test_mismatched_checkpoints_warn(self, explorer, tmp_path, caplog):
+        import logging
+
+        # A sibling cache under a different fingerprint leaves entries the
+        # resuming run cannot use — that's worth a warning.
+        foreign = CellCache(tmp_path, "f" * 64)
+        task = explorer.tasks()[0]
+        foreign.put(task, run_cell_task(explorer.context, task))
+        cache = CellCache(tmp_path, context_fingerprint(explorer.context))
+        with caplog.at_level(logging.INFO, logger="repro.engine"):
+            explorer.run(cache=cache, resume=True)
+        assert any(
+            r.levelno == logging.WARNING and "match this configuration" in r.message
+            for r in caplog.records
+        )
+
+
+class TestCacheRobustness:
+    def test_non_dict_json_checkpoint_is_a_miss(self, explorer, tmp_path):
+        cache = CellCache(tmp_path, context_fingerprint(explorer.context))
+        task = explorer.tasks()[0]
+        cache.put(task, run_cell_task(explorer.context, task))
+        for content in ("null", "[1, 2]", '"text"', '{"version": 1, "cell": null}'):
+            cache.path_for(task).write_text(content)
+            assert cache.get(task) is None
+
+    def test_unwritable_cache_does_not_abort_the_run(self, explorer, tmp_path, caplog):
+        import logging
+
+        class BrokenCache(CellCache):
+            def put(self, task, cell):
+                raise OSError("disk full")
+
+        cache = BrokenCache(tmp_path, context_fingerprint(explorer.context))
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            result = explorer.run(cache=cache)
+        assert len(result.cells) == 2
+        assert result.metadata["engine"]["computed_cells"] == 2
+        assert sum(
+            "checkpointing disabled" in r.message for r in caplog.records
+        ) == 1  # warned once, not per cell
