@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (run by the CI docs job and the tests).
+
+Two invariants:
+
+1. **Links** — every relative markdown link in README.md and docs/*.md
+   must point at a file that exists in the repository.
+2. **Flags** — every ``--flag`` mentioned in docs/cli.md must exist in
+   the ``python -m repro.experiments`` argparse definition, and every
+   user-facing parser flag must be documented in docs/cli.md.  Combined
+   with the CI step that runs each subcommand's ``--help``, documented
+   flags cannot drift from the implementation.
+
+Exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_PATTERN = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+
+def markdown_files() -> list[Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def check_links() -> list[str]:
+    errors: list[str] = []
+    for path in markdown_files():
+        for line_number, line in enumerate(path.read_text().splitlines(), 1):
+            for target in LINK_PATTERN.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = (path.parent / relative).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{path.relative_to(ROOT)}:{line_number}: "
+                        f"broken link -> {target}"
+                    )
+    return errors
+
+
+def parser_flags() -> set[str]:
+    from repro.experiments.runner import build_parser
+
+    flags: set[str] = set()
+
+    def walk(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:
+            for option in action.option_strings:
+                if option.startswith("--"):
+                    flags.add(option)
+            if isinstance(action, argparse._SubParsersAction):
+                seen = set()
+                for subparser in action.choices.values():
+                    if id(subparser) not in seen:
+                        seen.add(id(subparser))
+                        walk(subparser)
+
+    walk(build_parser())
+    flags.discard("--help")
+    return flags
+
+
+def check_flags() -> list[str]:
+    cli_doc = ROOT / "docs" / "cli.md"
+    if not cli_doc.is_file():
+        return [f"missing {cli_doc.relative_to(ROOT)}"]
+    documented = set(FLAG_PATTERN.findall(cli_doc.read_text()))
+    documented.discard("--help")
+    actual = parser_flags()
+    errors = []
+    for flag in sorted(documented - actual):
+        errors.append(f"docs/cli.md documents {flag}, which the CLI does not define")
+    for flag in sorted(actual - documented):
+        errors.append(f"CLI defines {flag}, which docs/cli.md does not document")
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_flags()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"docs ok: {len(markdown_files())} markdown files, "
+        f"{len(parser_flags())} CLI flags cross-checked"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

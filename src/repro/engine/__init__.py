@@ -1,24 +1,45 @@
-"""The cell-job engine: parallel, resumable execution of sweep workloads.
+"""The experiment-job engine: parallel, resumable execution of sweep workloads.
 
 The paper's Algorithm 1 — and every sweep-style workload built on it — is
-embarrassingly parallel at the granularity of one grid cell.  This package
+embarrassingly parallel at the granularity of one job.  This package
 turns that observation into infrastructure, split into three layers:
 
-* **job** (:mod:`repro.engine.job`) — :class:`CellTask`, a picklable
-  description of one cell with deterministically derived seeds, and
-  :func:`run_cell_task`, the pure function evaluating it;
-* **scheduler** (:mod:`repro.engine.scheduler`) — :func:`run_cell_tasks`,
-  executing a task list serially or on a fork pool with identical results;
-* **cache** (:mod:`repro.engine.cache`) — :class:`CellCache`, atomic JSON
-  checkpoints keyed by a context fingerprint, making interrupted grid runs
-  resumable.
+* **jobs** (:mod:`repro.engine.job`, :mod:`repro.engine.sweep`) — tiny,
+  picklable task descriptions with deterministically derived seeds, and
+  the pure functions evaluating them: :class:`CellTask` /
+  :func:`run_cell_task` for one ``(Vth, T)`` grid cell, :class:`SweepTask`
+  / :func:`run_sweep_task` for one trained-variant ε-sweep (Fig. 9,
+  ablations);
+* **scheduler** (:mod:`repro.engine.scheduler`) — :func:`run_tasks`,
+  executing any task list serially, on a fork pool, or on a spawn pool
+  that rebuilds the context from a :class:`ContextSpec`, with identical
+  results in every mode;
+* **caches** (:mod:`repro.engine.cache`) — :class:`CellCache` /
+  :class:`SweepCache` atomic JSON result checkpoints and the
+  :class:`WeightCache` of trained ``state_dict`` archives, all keyed by
+  context fingerprints, making interrupted runs resumable and
+  security-only re-sweeps retraining-free.
 
-:class:`repro.robustness.exploration.RobustnessExplorer` is the primary
-consumer; future sweeps (ablation grids, transfer studies) should build on
-the same layers instead of hand-rolling loops.
+:class:`repro.robustness.exploration.RobustnessExplorer` and the
+experiment runners in :mod:`repro.experiments` are the consumers; future
+sweeps (transfer studies, multi-host shards) should build on the same
+layers instead of hand-rolling loops.  See ``docs/architecture.md`` for
+the full layer map.
 """
 
-from repro.engine.cache import CellCache, context_fingerprint
+from repro.engine.cache import (
+    CacheEntry,
+    CellCache,
+    SweepCache,
+    WeightCache,
+    cache_stats,
+    clear_cache_dir,
+    context_fingerprint,
+    gc_cache_dir,
+    scan_cache_dir,
+    sweep_fingerprint,
+    training_fingerprint,
+)
 from repro.engine.job import (
     CellTask,
     ExplorationJobContext,
@@ -26,16 +47,44 @@ from repro.engine.job import (
     make_cell_task,
     run_cell_task,
 )
-from repro.engine.scheduler import ScheduleStats, run_cell_tasks
+from repro.engine.scheduler import (
+    ContextSpec,
+    ScheduleStats,
+    run_cell_tasks,
+    run_tasks,
+)
+from repro.engine.sweep import (
+    SweepJobContext,
+    SweepResult,
+    SweepTask,
+    make_sweep_task,
+    run_sweep_task,
+)
 
 __all__ = [
+    "CacheEntry",
     "CellCache",
     "CellTask",
+    "ContextSpec",
     "ExplorationJobContext",
     "ScheduleStats",
+    "SweepCache",
+    "SweepJobContext",
+    "SweepResult",
+    "SweepTask",
+    "WeightCache",
     "build_cell_tasks",
+    "cache_stats",
+    "clear_cache_dir",
     "context_fingerprint",
+    "gc_cache_dir",
     "make_cell_task",
+    "make_sweep_task",
     "run_cell_task",
     "run_cell_tasks",
+    "run_sweep_task",
+    "run_tasks",
+    "scan_cache_dir",
+    "sweep_fingerprint",
+    "training_fingerprint",
 ]

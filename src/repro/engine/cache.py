@@ -1,15 +1,30 @@
-"""Resumable cell cache: JSON checkpoints for completed grid cells.
+"""Resumable caches: JSON checkpoints for results, npz archives for weights.
 
-Every completed :class:`~repro.robustness.results.CellResult` is written
-to its own small JSON file, keyed by a fingerprint of the exploration
-context (config + dataset digests + caller tags) and the cell identity
-(grid position and derived seeds).  An interrupted grid run therefore
-resumes from the last completed cell instead of restarting: cells whose
-checkpoint exists are loaded, everything else is recomputed.
+Three stores share one directory layout (``<kind>_<fp12>_<key>.<ext>``):
+
+* :class:`CellCache` — one JSON file per completed grid cell
+  (:class:`~repro.robustness.results.CellResult`);
+* :class:`SweepCache` — one JSON file per completed variant sweep
+  (:class:`~repro.engine.sweep.SweepResult`);
+* :class:`WeightCache` — one compressed ``.npz`` archive per trained
+  model (``state_dict`` plus clean-accuracy metadata), so security-only
+  re-sweeps (new ε lists, new attack families) skip retraining entirely.
+
+Every filename embeds a *fingerprint* prefix identifying the experiment
+context — config, dataset digests, caller tags — so caches for different
+configurations can share a directory without collisions.  Result caches
+fingerprint the full context (:func:`context_fingerprint`,
+:func:`sweep_fingerprint`); the weight cache deliberately fingerprints
+only what training depends on (:func:`training_fingerprint`), which is
+exactly what lets a changed ε list still hit the trained weights.
 
 Writes are atomic (temp file + rename), so a run killed mid-write never
-leaves a checkpoint the next run would trip over — unreadable or corrupt
+leaves an entry the next run would trip over — unreadable or corrupt
 entries are treated as cache misses.
+
+The maintenance helpers at the bottom (:func:`scan_cache_dir`,
+:func:`cache_stats`, :func:`clear_cache_dir`, :func:`gc_cache_dir`) back
+the ``python -m repro.experiments cache`` subcommand.
 """
 
 from __future__ import annotations
@@ -17,90 +32,205 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+import weakref
+import zipfile
 from collections.abc import Mapping
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
-from repro.engine.job import CellTask, ExplorationJobContext
+from repro.engine.sweep import SweepResult
 from repro.robustness.results import CellResult
+from repro.training.trainer import TrainingConfig
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_npz, save_npz
 
-__all__ = ["CellCache", "context_fingerprint"]
+if TYPE_CHECKING:  # annotation-only: repro.engine.job imports this module
+    from repro.engine.job import CellTask, ExplorationJobContext
+    from repro.engine.sweep import SweepJobContext, SweepTask
+
+__all__ = [
+    "CacheEntry",
+    "CellCache",
+    "SweepCache",
+    "WeightCache",
+    "archive_weights",
+    "cache_stats",
+    "clear_cache_dir",
+    "context_fingerprint",
+    "fingerprint_matches",
+    "gc_cache_dir",
+    "scan_cache_dir",
+    "sweep_fingerprint",
+    "training_fingerprint",
+]
+
+_logger = get_logger("engine")
 
 _FORMAT_VERSION = 1
+
+_CACHE_KINDS = ("cell", "sweep", "weights")
+"""Filename prefixes recognised by the maintenance helpers."""
+
+
+# One engine run fingerprints the same datasets several times (result
+# cache + weight cache, train + eval sets); memoize per dataset object so
+# the full-array sha256 pass happens once, not per fingerprint.
+_DIGEST_CACHE: "weakref.WeakKeyDictionary[ArrayDataset, str]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def _dataset_digest(dataset: ArrayDataset) -> str:
     """Content hash of a dataset (shape, dtype and raw bytes)."""
+    cached = _DIGEST_CACHE.get(dataset)
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
     for array in (dataset.images, dataset.labels):
         array = np.ascontiguousarray(array)
         digest.update(str(array.shape).encode())
         digest.update(str(array.dtype).encode())
         digest.update(array.tobytes())
-    return digest.hexdigest()
+    value = digest.hexdigest()
+    _DIGEST_CACHE[dataset] = value
+    return value
+
+
+def _payload_fingerprint(payload: dict) -> str:
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _tag_dict(tags: Mapping[str, object] | None) -> dict[str, str]:
+    return {str(k): str(v) for k, v in (tags or {}).items()}
 
 
 def context_fingerprint(
     context: ExplorationJobContext,
     tags: Mapping[str, object] | None = None,
 ) -> str:
-    """Stable hash identifying one exploration setup.
+    """Stable hash identifying one grid-exploration setup.
 
-    Covers the full :class:`ExplorationConfig` (grid, gate, attack and
-    training settings), the exact train/test data, and any caller-supplied
-    ``tags``.  The model factory itself cannot be hashed reliably — callers
-    that switch factories under an identical config must disambiguate via
-    ``tags`` (the experiment runners tag profile and model names).
+    Covers the full :class:`~repro.robustness.config.ExplorationConfig`
+    (grid, gate, attack and training settings), the exact train/test data,
+    and any caller-supplied ``tags``.  The model factory itself cannot be
+    hashed reliably — callers that switch factories under an identical
+    config must disambiguate via ``tags`` (the experiment runners tag
+    profile and model names).
     """
     payload = {
         "version": _FORMAT_VERSION,
         "config": asdict(context.config),
         "train": _dataset_digest(context.train_set),
         "test": _dataset_digest(context.test_set),
-        "tags": {str(k): str(v) for k, v in (tags or {}).items()},
+        "tags": _tag_dict(tags),
     }
-    text = json.dumps(payload, sort_keys=True, default=repr)
-    return hashlib.sha256(text.encode()).hexdigest()
+    return _payload_fingerprint(payload)
 
 
-class CellCache:
-    """One checkpoint file per completed cell under ``directory``.
+def sweep_fingerprint(
+    context: SweepJobContext,
+    tags: Mapping[str, object] | None = None,
+) -> str:
+    """Stable hash identifying one variant-sweep setup.
 
-    Parameters
-    ----------
-    directory:
-        Where checkpoint files live; created lazily on first write.
-    fingerprint:
-        Context fingerprint from :func:`context_fingerprint`; part of every
-        cell key, so caches for different configs/datasets can share a
-        directory without collisions.
+    Covers the datasets, training hyper-parameters and attack execution
+    settings shared by every task of the sweep.  Per-task settings (the
+    variant parameters, attack families and ε lists) live in the cache
+    *key* instead — see :meth:`SweepCache.path_for`.
     """
+    payload = {
+        "version": _FORMAT_VERSION,
+        "train": _dataset_digest(context.train_set),
+        "clean_eval": _dataset_digest(context.clean_eval_set),
+        "attack_set": _dataset_digest(context.attack_set),
+        "training": asdict(context.training),
+        "attack_steps": context.attack_steps,
+        "attack_batch_size": context.attack_batch_size,
+        "clip": (repr(context.clip_min), repr(context.clip_max)),
+        "tags": _tag_dict(tags),
+    }
+    return _payload_fingerprint(payload)
+
+
+def training_fingerprint(
+    train_set: ArrayDataset,
+    training: TrainingConfig,
+    eval_sets: tuple[ArrayDataset, ...] = (),
+    tags: Mapping[str, object] | None = None,
+) -> str:
+    """Stable hash of everything *trained weights* depend on — and nothing else.
+
+    Deliberately excludes attack families and ε lists: a security-only
+    re-sweep changes those, and the whole point of the weight cache is
+    that its entries survive such changes.  ``eval_sets`` should name the
+    datasets whose scores are stored in the archive metadata (the cached
+    clean accuracy is only valid for the data it was measured on).
+
+    Example::
+
+        fingerprint = training_fingerprint(
+            train, profile.training_config(),
+            eval_sets=(test,), tags={"experiment": "fig9", "profile": "smoke"},
+        )
+        weights = WeightCache(cache_dir, fingerprint)
+    """
+    payload = {
+        "version": _FORMAT_VERSION,
+        "train": _dataset_digest(train_set),
+        "eval": [_dataset_digest(d) for d in eval_sets],
+        "training": asdict(training),
+        "tags": _tag_dict(tags),
+    }
+    return _payload_fingerprint(payload)
+
+
+class _CheckpointCache:
+    """Shared machinery of the per-task JSON checkpoint stores.
+
+    Subclasses define the filename ``kind``, the payload key of the
+    stored value, the task-identity material hashed into filenames, and
+    the encode/decode hooks for the stored value type.
+    """
+
+    kind = "job"
+    _value_key = "value"
 
     def __init__(self, directory: str | Path, fingerprint: str) -> None:
         self.directory = Path(directory)
         self.fingerprint = str(fingerprint)
         # Filenames carry a fingerprint prefix so __len__/clear() can
         # enumerate this cache's entries even in a shared directory.
-        self._prefix = f"cell_{self.fingerprint[:12]}"
+        self._prefix = f"{self.kind}_{self.fingerprint[:12]}"
 
-    def path_for(self, task: CellTask) -> Path:
+    # -- subclass hooks --------------------------------------------------------
+
+    def _task_material(self, task) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def _task_payload(self, task) -> dict:
+        raise NotImplementedError
+
+    def _encode(self, value) -> dict:
+        return value.as_dict()
+
+    def _decode(self, payload: dict):
+        raise NotImplementedError
+
+    # -- store -----------------------------------------------------------------
+
+    def path_for(self, task) -> Path:
         """Checkpoint path of one task (exists only once completed)."""
-        material = ":".join(
-            (
-                self.fingerprint,
-                repr(task.v_th),
-                str(task.time_window),
-                str(task.cell_seed),
-                str(task.attack_seed),
-            )
-        )
+        material = ":".join((self.fingerprint, *self._task_material(task)))
         key = hashlib.sha256(material.encode()).hexdigest()[:32]
         return self.directory / f"{self._prefix}_{key}.json"
 
-    def get(self, task: CellTask) -> CellResult | None:
+    def get(self, task):
         """Load the checkpoint for ``task``; ``None`` on miss or corruption."""
         path = self.path_for(task)
         try:
@@ -110,24 +240,18 @@ class CellCache:
         if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
             return None
         try:
-            return CellResult.from_dict(payload["cell"])
+            return self._decode(payload[self._value_key])
         except (AttributeError, KeyError, TypeError, ValueError):
             return None
 
-    def put(self, task: CellTask, cell: CellResult) -> Path:
-        """Atomically checkpoint a completed cell; returns its path."""
+    def put(self, task, value) -> Path:
+        """Atomically checkpoint a completed task; returns its path."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(task)
         payload = {
             "version": _FORMAT_VERSION,
-            "task": {
-                "index": task.index,
-                "v_th": task.v_th,
-                "time_window": task.time_window,
-                "cell_seed": task.cell_seed,
-                "attack_seed": task.attack_seed,
-            },
-            "cell": cell.as_dict(),
+            "task": self._task_payload(task),
+            self._value_key: self._encode(value),
         }
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -135,14 +259,14 @@ class CellCache:
         return path
 
     def any_entries(self) -> bool:
-        """Whether the directory holds checkpoints from *any* exploration.
+        """Whether the directory holds checkpoints of this kind at all.
 
         Used to distinguish "nothing checkpointed yet" from "checkpoints
         exist but none match this configuration" when resuming.
         """
         if not self.directory.is_dir():
             return False
-        return next(iter(self.directory.glob("cell_*.json")), None) is not None
+        return next(iter(self.directory.glob(f"{self.kind}_*.json")), None) is not None
 
     def __len__(self) -> int:
         """Number of this cache's checkpoint files currently on disk."""
@@ -153,8 +277,8 @@ class CellCache:
     def clear(self) -> int:
         """Delete this cache's checkpoint files; returns how many.
 
-        Entries written under other fingerprints in a shared directory
-        are left untouched.
+        Entries written under other fingerprints (or kinds) in a shared
+        directory are left untouched.
         """
         removed = 0
         if self.directory.is_dir():
@@ -164,4 +288,369 @@ class CellCache:
         return removed
 
     def __repr__(self) -> str:
-        return f"CellCache({str(self.directory)!r}, entries={len(self)})"
+        return f"{type(self).__name__}({str(self.directory)!r}, entries={len(self)})"
+
+
+class CellCache(_CheckpointCache):
+    """One checkpoint file per completed grid cell under ``directory``.
+
+    Example::
+
+        cache = CellCache(cache_dir, context_fingerprint(explorer.context))
+        cache.put(task, cell_result)
+        cache.get(task)            # -> CellResult (or None on a miss)
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live; created lazily on first write.
+    fingerprint:
+        Context fingerprint from :func:`context_fingerprint`; part of
+        every cell key, so caches for different configs/datasets can
+        share a directory without collisions.
+    """
+
+    kind = "cell"
+    _value_key = "cell"
+
+    def _task_material(self, task: CellTask) -> tuple[str, ...]:
+        return (
+            repr(task.v_th),
+            str(task.time_window),
+            str(task.cell_seed),
+            str(task.attack_seed),
+        )
+
+    def _task_payload(self, task: CellTask) -> dict:
+        return {
+            "index": task.index,
+            "v_th": task.v_th,
+            "time_window": task.time_window,
+            "cell_seed": task.cell_seed,
+            "attack_seed": task.attack_seed,
+        }
+
+    def _decode(self, payload: dict) -> CellResult:
+        return CellResult.from_dict(payload)
+
+
+class SweepCache(_CheckpointCache):
+    """One checkpoint file per completed variant sweep under ``directory``.
+
+    The key material includes the attack families and ε list, so a re-run
+    with a different security sweep is a deliberate *miss* here (it must
+    recompute robustness) while still hitting the :class:`WeightCache`
+    for the trained parameters.
+
+    Example::
+
+        cache = SweepCache(cache_dir, sweep_fingerprint(context, tags))
+        cache.put(task, sweep_result)
+        cache.get(task)            # -> SweepResult (or None on a miss)
+    """
+
+    kind = "sweep"
+    _value_key = "result"
+
+    def _task_material(self, task: SweepTask) -> tuple[str, ...]:
+        return (
+            task.key,
+            task.kind,
+            repr(task.params),
+            repr(task.attacks),
+            repr(task.epsilons),
+            str(task.train_seed),
+            str(task.attack_seed),
+        )
+
+    def _task_payload(self, task: SweepTask) -> dict:
+        return {
+            "index": task.index,
+            "key": task.key,
+            "kind": task.kind,
+            "params": [list(pair) for pair in task.params],
+            "attacks": list(task.attacks),
+            "epsilons": list(task.epsilons),
+            "train_seed": task.train_seed,
+            "attack_seed": task.attack_seed,
+        }
+
+    def _decode(self, payload: dict) -> SweepResult:
+        return SweepResult.from_dict(payload)
+
+
+class WeightCache:
+    """Trained ``state_dict`` archives keyed by variant key + train seed.
+
+    Entries are compressed ``.npz`` files written atomically via
+    :func:`repro.utils.serialization.save_npz`; JSON metadata (at least
+    ``clean_accuracy``) rides along inside the archive.  The fingerprint
+    should come from :func:`training_fingerprint` so entries survive
+    changes to anything training does not depend on.
+
+    Example::
+
+        weights = WeightCache(cache_dir, training_fingerprint(train, cfg))
+        weights.put("snn_vth1_T48", task.train_seed, model.state_dict(),
+                    {"clean_accuracy": 0.91})
+        state, meta = weights.get("snn_vth1_T48", task.train_seed)
+        model.load_state_dict(state)
+    """
+
+    kind = "weights"
+
+    def __init__(self, directory: str | Path, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = str(fingerprint)
+        self._prefix = f"{self.kind}_{self.fingerprint[:12]}"
+
+    def path_for(self, key: str, train_seed: int) -> Path:
+        """Archive path of one trained variant."""
+        material = ":".join((self.fingerprint, str(key), str(train_seed)))
+        digest = hashlib.sha256(material.encode()).hexdigest()[:32]
+        return self.directory / f"{self._prefix}_{digest}.npz"
+
+    def get(
+        self, key: str, train_seed: int
+    ) -> tuple[dict[str, np.ndarray], dict] | None:
+        """Load ``(state_dict, metadata)``; ``None`` on miss or corruption."""
+        path = self.path_for(key, train_seed)
+        if not path.is_file():
+            return None
+        try:
+            arrays, metadata = load_npz(path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return None
+        if not isinstance(metadata, dict) or "clean_accuracy" not in metadata:
+            return None
+        return arrays, metadata
+
+    def put(
+        self,
+        key: str,
+        train_seed: int,
+        state: dict[str, np.ndarray],
+        metadata: dict,
+    ) -> Path:
+        """Atomically store a trained ``state_dict`` with its metadata."""
+        if "clean_accuracy" not in metadata:
+            raise ValueError("weight-cache metadata must record clean_accuracy")
+        path = self.path_for(key, train_seed)
+        return save_npz(path, state, {**metadata, "key": str(key)})
+
+    def __len__(self) -> int:
+        """Number of this cache's archives currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob(f"{self._prefix}_*.npz"))
+
+    def clear(self) -> int:
+        """Delete this cache's archives; returns how many."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"{self._prefix}_*.npz"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"WeightCache({str(self.directory)!r}, entries={len(self)})"
+
+
+def archive_weights(
+    cache: WeightCache | None,
+    key: str,
+    train_seed: int,
+    state: dict[str, np.ndarray],
+    metadata: dict,
+) -> None:
+    """Best-effort :meth:`WeightCache.put` used from inside job functions.
+
+    Archiving is a convenience; an unwritable cache directory (read-only
+    mount, full disk) must degrade to a warning, never abort the
+    computation — jobs run in worker processes, where a raised ``OSError``
+    would kill the whole schedule.
+    """
+    if cache is None:
+        return
+    try:
+        cache.put(key, train_seed, state, metadata)
+    except OSError as error:
+        _logger.warning(
+            "weight archiving failed for %s (results are unaffected): %s",
+            key,
+            error,
+        )
+
+
+# -- directory maintenance (the `cache` subcommand) ----------------------------
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One recognised file in a cache directory."""
+
+    path: Path
+    kind: str
+    """``cell``, ``sweep`` or ``weights``."""
+
+    fingerprint: str
+    """The 12-character fingerprint prefix embedded in the filename."""
+
+    size_bytes: int
+    modified: float
+    """mtime as seconds since the epoch (drives age-based GC)."""
+
+    def age_seconds(self, now: float | None = None) -> float:
+        """Seconds since the entry was last written."""
+        return max(0.0, (time.time() if now is None else now) - self.modified)
+
+
+def fingerprint_matches(entry: CacheEntry, fingerprint: str | None) -> bool:
+    """Prefix-match an entry against a user-supplied fingerprint string.
+
+    Filenames only embed 12 fingerprint characters, so a full 64-char
+    fingerprint matches its own truncation and any shorter prefix works
+    as a filter.
+    """
+    if fingerprint is None:
+        return True
+    if len(fingerprint) <= len(entry.fingerprint):
+        return entry.fingerprint.startswith(fingerprint)
+    return fingerprint.startswith(entry.fingerprint)
+
+
+def scan_cache_dir(directory: str | Path) -> list[CacheEntry]:
+    """Enumerate recognised cache files under ``directory`` (non-recursive).
+
+    Unrelated files are ignored; a missing directory yields an empty list.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries: list[CacheEntry] = []
+    for path in sorted(directory.iterdir()):
+        if not path.is_file() or path.suffix not in (".json", ".npz"):
+            continue
+        parts = path.stem.split("_", 2)
+        if len(parts) != 3 or parts[0] not in _CACHE_KINDS:
+            continue
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append(
+            CacheEntry(
+                path=path,
+                kind=parts[0],
+                fingerprint=parts[1],
+                size_bytes=stat.st_size,
+                modified=stat.st_mtime,
+            )
+        )
+    return entries
+
+
+def cache_stats(directory: str | Path, fingerprint: str | None = None) -> dict:
+    """Aggregate counts and sizes per kind and per fingerprint.
+
+    With ``fingerprint``, *all* aggregates (not just the per-fingerprint
+    section) cover only the matching entries, so the totals answer "how
+    big is this experiment's cache" in a shared directory.  Returns a
+    JSON-friendly dict — the payload of
+    ``python -m repro.experiments cache stats --json``.
+    """
+    entries = [e for e in scan_cache_dir(directory) if fingerprint_matches(e, fingerprint)]
+    by_kind: dict[str, dict[str, int]] = {}
+    by_fingerprint: dict[str, int] = {}
+    for entry in entries:
+        bucket = by_kind.setdefault(entry.kind, {"entries": 0, "bytes": 0})
+        bucket["entries"] += 1
+        bucket["bytes"] += entry.size_bytes
+        by_fingerprint[entry.fingerprint] = by_fingerprint.get(entry.fingerprint, 0) + 1
+    return {
+        "directory": str(directory),
+        "entries": len(entries),
+        "total_bytes": sum(e.size_bytes for e in entries),
+        "by_kind": by_kind,
+        "by_fingerprint": dict(sorted(by_fingerprint.items())),
+    }
+
+
+def _scan_stray_temps(directory: str | Path) -> list[CacheEntry]:
+    """Orphaned atomic-write temp files left by killed runs.
+
+    Excluded from :func:`scan_cache_dir` (stats must not count archives
+    mid-write), but the pruning commands sweep them: a power-lost worker
+    leaves ``<entry>.json.<pid>.tmp`` / ``.weights_*.<pid>.tmp.npz``
+    strays that would otherwise accumulate forever.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    strays: list[CacheEntry] = []
+    for path in sorted(directory.iterdir()):
+        if not path.is_file():
+            continue
+        name = path.name
+        if not (name.endswith(".tmp") or name.endswith(".tmp.npz")):
+            continue
+        parts = name.lstrip(".").split("_", 2)
+        if len(parts) != 3 or parts[0] not in _CACHE_KINDS:
+            continue
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        strays.append(
+            CacheEntry(
+                path=path,
+                kind=parts[0],
+                fingerprint=parts[1],
+                size_bytes=stat.st_size,
+                modified=stat.st_mtime,
+            )
+        )
+    return strays
+
+
+def clear_cache_dir(directory: str | Path, fingerprint: str | None = None) -> int:
+    """Delete cache entries (optionally only one fingerprint's); returns count.
+
+    Orphaned temp files from interrupted writes are swept as well; a temp
+    belonging to a write currently in flight is safe to lose — the writer
+    treats the failed rename like any other unwritable-cache condition.
+    """
+    removed = 0
+    for entry in scan_cache_dir(directory) + _scan_stray_temps(directory):
+        if fingerprint_matches(entry, fingerprint):
+            entry.path.unlink(missing_ok=True)
+            removed += 1
+    return removed
+
+
+def gc_cache_dir(
+    directory: str | Path,
+    max_age_seconds: float | None = None,
+    fingerprint: str | None = None,
+    now: float | None = None,
+) -> int:
+    """Garbage-collect entries by age and/or fingerprint; returns count.
+
+    At least one criterion is required — a bare GC that deletes everything
+    is spelled :func:`clear_cache_dir`.  With both, entries must match the
+    fingerprint *and* exceed the age to be removed.  Orphaned temp files
+    are swept under the same criteria (an age bound naturally protects
+    writes currently in flight).
+    """
+    if max_age_seconds is None and fingerprint is None:
+        raise ValueError("gc needs max_age_seconds and/or fingerprint (use clear to drop everything)")
+    removed = 0
+    for entry in scan_cache_dir(directory) + _scan_stray_temps(directory):
+        if not fingerprint_matches(entry, fingerprint):
+            continue
+        if max_age_seconds is not None and entry.age_seconds(now) <= max_age_seconds:
+            continue
+        entry.path.unlink(missing_ok=True)
+        removed += 1
+    return removed

@@ -1,4 +1,4 @@
-"""The unit of work of the exploration engine: one grid cell.
+"""The original unit of work of the engine: one grid cell.
 
 A :class:`CellTask` is a tiny, picklable description of one ``(Vth, T)``
 combination — its grid position plus the child seeds derived from the
@@ -7,10 +7,18 @@ experiment root seed.  :func:`run_cell_task` is the *pure* job function
 :class:`ExplorationJobContext` it trains, gates and attacks one model and
 returns a :class:`~repro.robustness.results.CellResult`.
 
+Example — evaluating one cell by hand::
+
+    tasks = build_cell_tasks(config)            # deterministic seeds
+    cell = run_cell_task(context, tasks[0])     # train + gate + attack
+    cell.robustness[1.0]                        # robustness at eps=1
+
 Because seeds are derived in the task (not from execution order), the
 same task produces bitwise-identical results whether it runs serially,
 in a worker process, or in a different position of the grid sweep — the
 property the parallel scheduler and the resumable cache both rely on.
+The sibling module :mod:`repro.engine.sweep` applies the same recipe to
+trained-variant ε-sweeps (Fig. 9, ablations).
 """
 
 from __future__ import annotations
@@ -19,14 +27,19 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass, replace
 from multiprocessing import current_process
+from typing import TYPE_CHECKING
 
 from repro.data.dataset import ArrayDataset
+from repro.engine.cache import archive_weights
 from repro.nn.module import Module
 from repro.robustness.config import ExplorationConfig
 from repro.robustness.learnability import train_and_score
 from repro.robustness.results import CellResult
 from repro.robustness.security import robustness_curve
 from repro.utils.seeding import SeedSequence
+
+if TYPE_CHECKING:  # avoids a runtime cycle: engine.cache imports this module
+    from repro.engine.cache import WeightCache
 
 __all__ = [
     "CellTask",
@@ -42,7 +55,13 @@ ModelFactory = Callable[[float, int, int], Module]
 
 @dataclass(frozen=True)
 class CellTask:
-    """Identity and derived seeds of one grid cell (picklable, tiny)."""
+    """Identity and derived seeds of one grid cell (picklable, tiny).
+
+    Example::
+
+        CellTask(index=0, v_th=1.0, time_window=48,
+                 cell_seed=1234, attack_seed=5678)
+    """
 
     index: int
     """Position in the declared grid order (row-major over thresholds)."""
@@ -59,19 +78,39 @@ class CellTask:
     attack_seed: int
     """Seed for attack randomness (PGD random starts, noise draws)."""
 
+    @property
+    def weight_key(self) -> str:
+        """Weight-cache key of this cell's trained model."""
+        return f"cell_vth{self.v_th:g}_T{self.time_window}"
+
 
 @dataclass
 class ExplorationJobContext:
     """Everything a worker needs to evaluate any cell of one exploration.
 
     Shipped to worker processes once per pool (via fork inheritance), so
-    datasets are not re-pickled per task.
+    datasets are not re-pickled per task; spawn workers rebuild it from a
+    :class:`~repro.engine.scheduler.ContextSpec` instead.
     """
 
     model_factory: ModelFactory
+    """``(v_th, time_window, seed) -> fresh untrained model``."""
+
     train_set: ArrayDataset
+    """Training data for Algorithm 1's Train() step."""
+
     test_set: ArrayDataset
+    """Samples scored for clean accuracy and attacked during the sweep."""
+
     config: ExplorationConfig
+    """Grid, gate, attack and training settings."""
+
+    weight_cache: "WeightCache | None" = None
+    """Optional store for trained cell parameters; always written when set."""
+
+    reuse_weights: bool = False
+    """Load cached weights instead of retraining (``--resume`` semantics:
+    caches are written eagerly but reused only on request)."""
 
 
 def make_cell_task(
@@ -93,7 +132,13 @@ def make_cell_task(
 
 
 def build_cell_tasks(config: ExplorationConfig) -> list[CellTask]:
-    """Expand a config into the full, deterministically-seeded task list."""
+    """Expand a config into the full, deterministically-seeded task list.
+
+    Example::
+
+        tasks = build_cell_tasks(ExplorationConfig(seed=7))
+        len(tasks) == len(config.v_thresholds) * len(config.time_windows)
+    """
     seeds = SeedSequence(config.seed)
     tasks: list[CellTask] = []
     for v_th in config.v_thresholds:
@@ -103,20 +148,49 @@ def build_cell_tasks(config: ExplorationConfig) -> list[CellTask]:
 
 
 def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
-    """Run learnability + security analysis for one grid cell (pure)."""
+    """Run learnability + security analysis for one grid cell (pure).
+
+    With a weight cache attached and ``reuse_weights`` set, a cached
+    ``state_dict`` replaces training entirely: the stored clean accuracy
+    is re-gated against the (possibly changed) accuracy threshold and
+    only the security sweep is recomputed — the path that makes
+    "new ε list, same grid" runs cheap.
+    """
     start = time.perf_counter()
     config = context.config
     model = context.model_factory(task.v_th, task.time_window, task.cell_seed)
-    training = replace(config.training, seed=task.cell_seed & 0x7FFFFFFF)
-    learn = train_and_score(
-        model,
-        context.train_set,
-        context.test_set,
-        training,
-        config.accuracy_threshold,
-    )
+    cached = None
+    if context.weight_cache is not None and context.reuse_weights:
+        cached = context.weight_cache.get(task.weight_key, task.cell_seed)
+    if cached is not None:
+        state, metadata = cached
+        model.load_state_dict(state)
+        clean_accuracy = float(metadata["clean_accuracy"])
+        diverged = False
+        learnable = clean_accuracy >= config.accuracy_threshold
+    else:
+        training = replace(config.training, seed=task.cell_seed & 0x7FFFFFFF)
+        learn = train_and_score(
+            model,
+            context.train_set,
+            context.test_set,
+            training,
+            config.accuracy_threshold,
+        )
+        clean_accuracy = learn.clean_accuracy
+        diverged = learn.diverged
+        learnable = learn.learnable
+        if not diverged:
+            # Diverged weights are useless for re-sweeps; don't archive them.
+            archive_weights(
+                context.weight_cache,
+                task.weight_key,
+                task.cell_seed,
+                model.state_dict(),
+                {"clean_accuracy": clean_accuracy},
+            )
     robustness: dict[float, float] = {}
-    if learn.learnable:
+    if learnable:
         curve = robustness_curve(
             model,
             context.test_set,
@@ -129,9 +203,9 @@ def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
     return CellResult(
         v_th=task.v_th,
         time_window=task.time_window,
-        clean_accuracy=learn.clean_accuracy,
-        learnable=learn.learnable,
-        diverged=learn.diverged,
+        clean_accuracy=clean_accuracy,
+        learnable=learnable,
+        diverged=diverged,
         robustness=robustness,
         elapsed_seconds=time.perf_counter() - start,
         worker=current_process().name,

@@ -1,20 +1,36 @@
-"""Serial / multi-process scheduler for cell jobs.
+"""Serial / multi-process scheduler for experiment jobs.
 
-:func:`run_cell_tasks` drives a list of :class:`~repro.engine.job.CellTask`
-through :func:`~repro.engine.job.run_cell_task`, either in-process
-(``jobs=1``) or on a ``multiprocessing`` fork pool (``jobs>1``).  Because
-every task carries its own derived seeds, the two modes produce identical
-:class:`~repro.robustness.results.CellResult` values — parallelism only
+:func:`run_tasks` drives any list of picklable tasks (grid
+:class:`~repro.engine.job.CellTask` jobs, variant
+:class:`~repro.engine.sweep.SweepTask` jobs, future sweep families)
+through a pure job function, either in-process (``jobs=1``) or on a
+``multiprocessing`` pool (``jobs>1``).  Because every task carries its
+own derived seeds, all modes produce identical results — parallelism only
 changes wall-clock, never science.
 
-Cache integration happens here, in the parent process: completed cells are
-checkpointed as they arrive (so an interrupted parallel run still resumes),
-and with ``resume=True`` cached cells are served without dispatching work.
+Two pool backends are available, selected via ``start_method``:
 
-The pool uses the ``fork`` start method so the job context (datasets,
-model factory — often a closure) is inherited rather than pickled; on
-platforms without ``fork`` the scheduler degrades to serial execution
-with a warning rather than failing.
+* ``fork`` — the job context (datasets, model factory — often a closure)
+  is inherited by the workers, nothing is pickled per pool;
+* ``spawn`` — for platforms without ``fork``: the caller supplies a
+  :class:`ContextSpec` naming a module-level context *builder*, and each
+  worker reconstructs profile, data and model factory locally.
+
+``auto`` (the default) prefers ``fork``, falls back to ``spawn`` when a
+spec is available, and otherwise degrades to serial with a warning.
+
+Example — the same tasks through both backends::
+
+    results, _ = run_tasks(context, tasks, run_sweep_task, jobs=4)
+    spec = ContextSpec("repro.experiments.sweeps:build_fig9_context",
+                       {"profile": "smoke"})
+    same, _ = run_tasks(context, tasks, run_sweep_task, jobs=4,
+                        start_method="spawn", context_spec=spec)
+
+Cache integration happens here, in the parent process: completed tasks
+are checkpointed as they arrive (so an interrupted parallel run still
+resumes), and with ``resume=True`` cached results are served without
+dispatching work.
 """
 
 from __future__ import annotations
@@ -22,31 +38,73 @@ from __future__ import annotations
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from importlib import import_module
 
-from repro.engine.job import CellTask, ExplorationJobContext, run_cell_task
-from repro.robustness.results import CellResult
+from repro.engine.job import ExplorationJobContext, run_cell_task
 from repro.utils.logging import get_logger
 
-__all__ = ["ScheduleStats", "run_cell_tasks"]
+__all__ = ["ContextSpec", "ScheduleStats", "run_cell_tasks", "run_tasks"]
 
 _logger = get_logger("engine")
 
-ProgressCallback = Callable[[CellTask, CellResult, bool], None]
-"""``(task, cell, from_cache)`` invoked in the parent after each cell."""
+_START_METHODS = ("auto", "fork", "spawn")
 
-# Worker-side context, installed once per pool by the initializer so tasks
+ProgressCallback = Callable[[object, object, bool], None]
+"""``(task, result, from_cache)`` invoked in the parent after each task."""
+
+# Worker-side state, installed once per pool by the initializer so tasks
 # (tiny dataclasses) are the only per-job pickling traffic.
-_WORKER_CONTEXT: ExplorationJobContext | None = None
+_WORKER_CONTEXT: object | None = None
+_WORKER_RUN: Callable | None = None
 
 
-def _init_worker(context: ExplorationJobContext) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
+@dataclass(frozen=True)
+class ContextSpec:
+    """Picklable recipe for rebuilding a job context inside a spawn worker.
+
+    ``target`` names a module-level builder as ``"package.module:function"``;
+    ``kwargs`` must be picklable (strings, numbers, paths as strings).  The
+    builder is imported and called once per worker, so closures and datasets
+    never cross the process boundary.
+
+    Example::
+
+        spec = ContextSpec(
+            target="repro.experiments.sweeps:build_ablation_context",
+            kwargs={"profile": "smoke", "cache_dir": "/tmp/cells"},
+        )
+        context = spec.resolve()   # what each spawn worker executes
+    """
+
+    target: str
+    """Builder location, ``"package.module:function"``."""
+
+    kwargs: dict = field(default_factory=dict)
+    """Keyword arguments handed to the builder."""
+
+    def resolve(self):
+        """Import the builder and construct the context."""
+        module_name, separator, function_name = self.target.partition(":")
+        if not separator or not module_name or not function_name:
+            raise ValueError(
+                f"ContextSpec target must look like 'package.module:function', "
+                f"got {self.target!r}"
+            )
+        builder = getattr(import_module(module_name), function_name)
+        return builder(**self.kwargs)
 
 
-def _run_in_worker(task: CellTask) -> tuple[int, CellResult]:
-    assert _WORKER_CONTEXT is not None, "worker pool initialized without context"
-    return task.index, run_cell_task(_WORKER_CONTEXT, task)
+def _init_worker(context_or_spec, run_fn: Callable) -> None:
+    global _WORKER_CONTEXT, _WORKER_RUN
+    if isinstance(context_or_spec, ContextSpec):
+        context_or_spec = context_or_spec.resolve()
+    _WORKER_CONTEXT = context_or_spec
+    _WORKER_RUN = run_fn
+
+
+def _run_in_worker(task) -> tuple[int, object]:
+    assert _WORKER_RUN is not None, "worker pool initialized without a job function"
+    return task.index, _WORKER_RUN(_WORKER_CONTEXT, task)
 
 
 @dataclass
@@ -58,14 +116,17 @@ class ScheduleStats:
 
     total_cells: int
     cached_cells: int
-    """Cells served from checkpoints instead of being computed."""
+    """Tasks served from checkpoints instead of being computed."""
 
     computed_cells: int
     elapsed_seconds: float
     """Parent-side wall clock for the whole schedule."""
 
     workers: list[str] = field(default_factory=list)
-    """Distinct process names that computed at least one cell."""
+    """Distinct process names that computed at least one task."""
+
+    start_method: str = "serial"
+    """Pool backend actually used: ``serial``, ``fork`` or ``spawn``."""
 
     def as_dict(self) -> dict:
         """JSON-friendly representation."""
@@ -76,67 +137,124 @@ class ScheduleStats:
             "computed_cells": self.computed_cells,
             "elapsed_seconds": self.elapsed_seconds,
             "workers": list(self.workers),
+            "start_method": self.start_method,
         }
 
 
-def _fork_context():
+def _select_backend(start_method: str, context, context_spec: ContextSpec | None):
+    """Pick ``(mp_context, worker_init_arg, method_name)`` for the pool.
+
+    Returns ``(None, None, "serial")`` when no usable backend exists — the
+    scheduler then degrades to in-process execution rather than failing,
+    except for an explicit ``spawn`` request without the spec it needs
+    (a programming error worth surfacing).
+    """
     import multiprocessing
 
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:
-        return None
+    available = multiprocessing.get_all_start_methods()
+    if start_method in ("auto", "fork") and "fork" in available:
+        return multiprocessing.get_context("fork"), context, "fork"
+    if start_method == "fork":
+        _logger.warning(
+            "multiprocessing 'fork' start method unavailable; "
+            "falling back to serial execution"
+        )
+        return None, None, "serial"
+    if context_spec is None:
+        # Explicit spawn without a spec was already rejected up front in
+        # run_tasks; reaching here means start_method == "auto".
+        _logger.warning(
+            "no 'fork' start method and no context_spec for 'spawn'; "
+            "falling back to serial execution"
+        )
+        return None, None, "serial"
+    if "spawn" not in available:
+        _logger.warning(
+            "multiprocessing 'spawn' start method unavailable; "
+            "falling back to serial execution"
+        )
+        return None, None, "serial"
+    return multiprocessing.get_context("spawn"), context_spec, "spawn"
 
 
-def run_cell_tasks(
-    context: ExplorationJobContext,
-    tasks: Sequence[CellTask],
+def run_tasks(
+    context,
+    tasks: Sequence,
+    run_fn: Callable,
     jobs: int = 1,
     cache=None,
     resume: bool = False,
     progress: ProgressCallback | None = None,
-) -> tuple[list[CellResult], ScheduleStats]:
-    """Execute ``tasks`` and return ``(cells, stats)`` in task order.
+    start_method: str = "auto",
+    context_spec: ContextSpec | None = None,
+) -> tuple[list, ScheduleStats]:
+    """Execute ``tasks`` and return ``(results, stats)`` in task order.
 
     Parameters
     ----------
     context:
-        Shared job inputs (factory, datasets, config).
+        Shared job inputs (factory, datasets, config).  Any object the
+        ``run_fn`` understands; must match what ``context_spec`` rebuilds.
     tasks:
-        Cells to evaluate (from :func:`~repro.engine.job.build_cell_tasks`).
+        Jobs to evaluate.  Each needs a unique integer ``.index``.
+    run_fn:
+        Pure job function ``(context, task) -> result`` — a *module-level*
+        function (e.g. :func:`~repro.engine.job.run_cell_task` or
+        :func:`~repro.engine.sweep.run_sweep_task`) so worker pools can
+        pickle it by reference.
     jobs:
         Worker processes; ``1`` runs in-process.  Capped at the number of
-        pending cells.
+        pending tasks.
     cache:
-        Optional :class:`~repro.engine.cache.CellCache`.  Completed cells
-        are always checkpointed through it; cached cells are *reused* only
+        Optional checkpoint store (:class:`~repro.engine.cache.CellCache`
+        or :class:`~repro.engine.cache.SweepCache`).  Completed tasks are
+        always checkpointed through it; cached results are *reused* only
         when ``resume`` is set.
     resume:
-        Serve already-checkpointed cells from ``cache`` instead of
+        Serve already-checkpointed tasks from ``cache`` instead of
         recomputing them.  Requires ``cache`` — resuming without a
         checkpoint store would silently recompute everything.
     progress:
-        Parent-side callback per completed cell (logging, UIs).
+        Parent-side callback per completed task (logging, UIs).
+    start_method:
+        ``auto`` (prefer fork, else spawn-with-spec, else serial),
+        ``fork`` or ``spawn``.
+    context_spec:
+        Recipe for rebuilding ``context`` inside spawn workers; required
+        for ``start_method='spawn'``, optional fallback for ``auto``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if start_method not in _START_METHODS:
+        raise ValueError(
+            f"unknown start_method {start_method!r}; choose from {_START_METHODS}"
+        )
+    if start_method == "spawn" and context_spec is None:
+        # Validated up front, not at pool creation: a warm cache can leave
+        # too few pending tasks for a pool, and this programming error
+        # must not pass or fail depending on cache state.
+        raise ValueError(
+            "start_method='spawn' requires a context_spec: spawn workers "
+            "cannot inherit the in-memory job context and must rebuild it "
+            "from a module-level builder"
+        )
     if resume and cache is None:
         raise ValueError("resume=True requires a cache to resume from")
     start = time.perf_counter()
-    results: dict[int, CellResult] = {}
+    results: dict[int, object] = {}
     by_index = {task.index: task for task in tasks}
     if len(by_index) != len(tasks):
         raise ValueError("task indices must be unique")
 
-    pending: list[CellTask] = []
+    pending: list = []
     cached = 0
     for task in tasks:
-        cell = cache.get(task) if (cache is not None and resume) else None
-        if cell is not None:
-            results[task.index] = cell
+        result = cache.get(task) if (cache is not None and resume) else None
+        if result is not None:
+            results[task.index] = result
             cached += 1
             if progress is not None:
-                progress(task, cell, True)
+                progress(task, result, True)
         else:
             pending.append(task)
     if resume and cached == 0 and tasks:
@@ -146,56 +264,56 @@ def run_cell_tasks(
             # "resume" would otherwise silently recompute everything.
             _logger.warning(
                 "resume requested but none of the existing checkpoints "
-                "match this configuration; computing all %d cells from "
+                "match this configuration; computing all %d tasks from "
                 "scratch",
                 len(tasks),
             )
         else:
-            # Interrupted before the first cell completed: nothing to
+            # Interrupted before the first task completed: nothing to
             # resume from yet, which is expected, not suspicious.
             _logger.info(
                 "resume requested but no checkpoints exist yet; "
-                "computing all %d cells",
+                "computing all %d tasks",
                 len(tasks),
             )
 
     computed_workers: set[str] = set()
     cache_write_failed = False
 
-    def record(task: CellTask, cell: CellResult) -> None:
+    def record(task, result) -> None:
         nonlocal cache_write_failed
-        results[task.index] = cell
-        if cell.worker:
-            computed_workers.add(cell.worker)
+        results[task.index] = result
+        worker = getattr(result, "worker", "")
+        if worker:
+            computed_workers.add(worker)
         if cache is not None and not cache_write_failed:
             # Checkpointing is a convenience; an unwritable cache directory
             # (read-only cwd, full disk) must not abort the computation.
             # After the first failed write, stop attempting further ones.
             try:
-                cache.put(task, cell)
+                cache.put(task, result)
             except OSError as error:
                 cache_write_failed = True
                 _logger.warning(
-                    "cell checkpointing disabled for the rest of this run: "
+                    "checkpointing disabled for the rest of this run: "
                     "cache write failed (%s)",
                     error,
                 )
         if progress is not None:
-            progress(task, cell, False)
+            progress(task, result, False)
 
     effective_jobs = min(jobs, len(pending)) if pending else 1
+    method_used = "serial"
     if effective_jobs > 1:
-        mp_context = _fork_context()
+        mp_context, init_arg, method_used = _select_backend(
+            start_method, context, context_spec
+        )
         if mp_context is None:
-            _logger.warning(
-                "multiprocessing 'fork' start method unavailable; "
-                "falling back to serial execution"
-            )
             effective_jobs = 1
     if effective_jobs > 1:
         # ProcessPoolExecutor rather than multiprocessing.Pool: a worker
         # dying hard (OOM kill, segfault) raises BrokenProcessPool here
-        # instead of hanging imap forever.  Completed cells were already
+        # instead of hanging imap forever.  Completed tasks were already
         # checkpointed via record(), so --resume picks up after the crash.
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -203,17 +321,18 @@ def run_cell_tasks(
             max_workers=effective_jobs,
             mp_context=mp_context,
             initializer=_init_worker,
-            initargs=(context,),
+            initargs=(init_arg, run_fn),
         ) as pool:
             futures = [pool.submit(_run_in_worker, task) for task in pending]
             for future in as_completed(futures):
-                index, cell = future.result()
-                record(by_index[index], cell)
+                index, result = future.result()
+                record(by_index[index], result)
     else:
+        method_used = "serial"
         for task in pending:
-            record(task, run_cell_task(context, task))
+            record(task, run_fn(context, task))
 
-    cells = [results[task.index] for task in tasks]
+    ordered = [results[task.index] for task in tasks]
     stats = ScheduleStats(
         jobs=effective_jobs,
         total_cells=len(tasks),
@@ -221,5 +340,37 @@ def run_cell_tasks(
         computed_cells=len(pending),
         elapsed_seconds=time.perf_counter() - start,
         workers=sorted(computed_workers),
+        start_method=method_used,
     )
-    return cells, stats
+    return ordered, stats
+
+
+def run_cell_tasks(
+    context: ExplorationJobContext,
+    tasks: Sequence,
+    jobs: int = 1,
+    cache=None,
+    resume: bool = False,
+    progress: ProgressCallback | None = None,
+    start_method: str = "auto",
+    context_spec: ContextSpec | None = None,
+) -> tuple[list, ScheduleStats]:
+    """Grid-cell convenience wrapper: :func:`run_tasks` with
+    :func:`~repro.engine.job.run_cell_task` as the job function.
+
+    Example::
+
+        cells, stats = run_cell_tasks(context, build_cell_tasks(config),
+                                      jobs=4, cache=cache, resume=True)
+    """
+    return run_tasks(
+        context,
+        tasks,
+        run_cell_task,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        progress=progress,
+        start_method=start_method,
+        context_spec=context_spec,
+    )

@@ -19,6 +19,8 @@ evaluates every ε on the models trained once), exactly as in the paper.
 """
 
 from repro.experiments.ablations import (
+    AblationResult,
+    run_ablation_suite,
     run_attack_ablation,
     run_encoding_ablation,
     run_reset_ablation,
@@ -33,9 +35,12 @@ from repro.experiments.fig678_grid import (
 )
 from repro.experiments.fig9_sweetspots import Fig9Result, run_fig9
 from repro.experiments.profiles import ExperimentProfile, available_profiles, get_profile
+from repro.experiments.sweeps import ABLATION_FACTORS
 from repro.experiments.workloads import load_profile_data
 
 __all__ = [
+    "ABLATION_FACTORS",
+    "AblationResult",
     "ExperimentProfile",
     "Fig1Result",
     "Fig9Result",
@@ -45,6 +50,7 @@ __all__ = [
     "fig8_table",
     "get_profile",
     "load_profile_data",
+    "run_ablation_suite",
     "run_attack_ablation",
     "run_encoding_ablation",
     "run_fig1",

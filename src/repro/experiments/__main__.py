@@ -1,7 +1,24 @@
-"""Module entry point for ``python -m repro.experiments``."""
+"""Module entry point for ``python -m repro.experiments``.
 
+The ``__main__`` guard is load-bearing: ``spawn`` worker processes
+re-import the parent's main module, and an unguarded ``sys.exit(main())``
+would re-run the whole CLI inside every worker.
+"""
+
+import os
 import sys
 
 from repro.experiments.runner import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe early;
+        # exit quietly with the conventional SIGPIPE status instead of a
+        # traceback.  Point stdout at devnull first so the interpreter's
+        # shutdown flush doesn't raise the same error again (the recipe
+        # from the Python signal docs).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141
+    sys.exit(code)

@@ -3,35 +3,55 @@
 These go beyond the paper's figures: they quantify how much the measured
 "inherent robustness" depends on substrate choices the paper inherited
 implicitly from Norse (surrogate sharpness, input encoding, reset mode)
-and contextualise PGD against weaker attacks and noise controls.
+and contextualise PGD against weaker attacks and noise controls
+(Marchisio et al.'s comparative-study angle).
 
 Every ablation fixes one reference combination ``(Vth, T)`` (the paper's
 high-robustness sweet spot by default) and varies a single factor.
+
+All four factors run as :class:`~repro.engine.sweep.SweepTask` jobs on a
+*shared* job context, so :func:`run_ablation_suite` parallelizes across
+the whole suite at once (``jobs``), checkpoints and resumes every variant
+(``cache_dir``/``resume``), and reuses cached trained weights when only
+the security sweep changed.  The per-factor ``run_*_ablation`` functions
+are thin wrappers kept for notebooks, benchmarks and backward
+compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.attacks.metrics import evaluate_attack, evaluate_clean_accuracy
-from repro.data.transforms import normalized_bounds
+from repro.engine.sweep import SweepResult, SweepTask
 from repro.experiments.profiles import ExperimentProfile, get_profile
-from repro.experiments.workloads import load_profile_data
-from repro.models.registry import build_model
-from repro.robustness.config import make_attack
+from repro.experiments.sweeps import (
+    ABLATION_FACTORS,
+    DEFAULT_ATTACK_FAMILIES,
+    DEFAULT_SURROGATE_FAMILIES,
+    build_ablation_context,
+    build_ablation_tasks,
+    run_sweep_schedule,
+)
 from repro.robustness.report import render_curve_table
-from repro.snn.encoding import PoissonEncoder
-from repro.snn.neuron import LIFParameters
-from repro.training.trainer import Trainer
-from repro.utils.seeding import SeedSequence
 
 __all__ = [
+    "ABLATION_FACTORS",
     "AblationResult",
+    "run_ablation_suite",
     "run_attack_ablation",
     "run_encoding_ablation",
     "run_reset_ablation",
     "run_surrogate_ablation",
 ]
+
+_FACTOR_LABELS = {
+    "surrogate": "surrogate",
+    "encoding": "encoding",
+    "reset": "reset_mode",
+    "attack": "attack_family",
+}
+"""CLI factor name -> the factor string recorded in results (historical)."""
 
 
 @dataclass(frozen=True)
@@ -42,6 +62,8 @@ class AblationResult:
     epsilons: tuple[float, ...]
     variants: dict[str, tuple[float, ...]]
     clean_accuracies: dict[str, float]
+    metadata: dict = field(default_factory=dict)
+    """Engine accounting (schedule stats, weight-cache reuse counts)."""
 
     def render(self) -> str:
         """Text table of the ablation."""
@@ -62,57 +84,106 @@ class AblationResult:
             "epsilons": list(self.epsilons),
             "variants": {k: list(v) for k, v in self.variants.items()},
             "clean_accuracies": dict(self.clean_accuracies),
+            "metadata": dict(self.metadata),
         }
 
 
-def _ablation_epsilons(profile: ExperimentProfile) -> tuple[float, ...]:
-    return tuple(profile.grid_epsilons)
-
-
-def _train_and_sweep(
-    model,
-    profile: ExperimentProfile,
-    train_set,
-    attack_subset,
-    epsilons,
-    attack_name: str = "pgd",
-) -> tuple[float, tuple[float, ...]]:
-    clip_min, clip_max = normalized_bounds()
-    Trainer(model, profile.training_config()).fit(train_set)
-    clean = evaluate_clean_accuracy(model, attack_subset)
-    robustness = []
-    for eps in epsilons:
-        attack = make_attack(
-            attack_name,
-            eps,
-            steps=profile.pgd_steps,
-            seed=profile.seed,
-            clip_min=clip_min,
-            clip_max=clip_max,
+def _group_by_factor(
+    tasks: list[SweepTask],
+    results: list[SweepResult],
+    metadata: dict,
+) -> dict[str, AblationResult]:
+    """Regroup the flat engine output into one result per factor."""
+    grouped: dict[str, AblationResult] = {}
+    for factor in ABLATION_FACTORS:
+        pairs = [
+            (task, result)
+            for task, result in zip(tasks, results)
+            if task.key.startswith(f"{factor}:")
+        ]
+        if not pairs:
+            continue
+        epsilons = pairs[0][0].epsilons
+        variants: dict[str, tuple[float, ...]] = {}
+        cleans: dict[str, float] = {}
+        for task, result in pairs:
+            label = task.key.split(":", 1)[1]
+            cleans[label] = result.clean_accuracy
+            if factor == "attack":
+                # One trained reference, one curve per attack family.
+                for attack in task.attacks:
+                    variants[attack] = tuple(
+                        result.curves[attack][eps] for eps in epsilons
+                    )
+            else:
+                variants[label] = tuple(
+                    result.curves["pgd"][eps] for eps in epsilons
+                )
+        grouped[factor] = AblationResult(
+            factor=_FACTOR_LABELS[factor],
+            epsilons=epsilons,
+            variants=variants,
+            clean_accuracies=cleans,
+            metadata=dict(metadata),
         )
-        robustness.append(evaluate_attack(model, attack, attack_subset).robustness)
-    return clean, tuple(robustness)
+    return grouped
 
 
-def _reference_builder(profile: ExperimentProfile, seeds: SeedSequence, **overrides):
-    """Reference SNN at (Vth = 1, T = profile default) for single-factor
-    ablations — the default window keeps the ablation suite affordable."""
-    v_th = 1.0
-    params = overrides.pop("lif_params", LIFParameters(v_th=v_th))
-    return build_model(
-        profile.snn_model,
-        input_size=profile.image_size,
-        time_steps=overrides.pop("time_steps", profile.time_steps_default),
-        lif_params=params,
-        input_scale=profile.input_scale,
-        rng=seeds.child_seed("ablation", repr(sorted(overrides.items())), v_th),
-        **overrides,
+def run_ablation_suite(
+    profile: ExperimentProfile | str = "smoke",
+    factors: tuple[str, ...] = ABLATION_FACTORS,
+    verbose: bool = False,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    resume: bool = False,
+    start_method: str = "auto",
+    epsilons: tuple[float, ...] | None = None,
+    surrogate_families: tuple[str, ...] = DEFAULT_SURROGATE_FAMILIES,
+    attack_families: tuple[str, ...] = DEFAULT_ATTACK_FAMILIES,
+) -> dict[str, AblationResult]:
+    """Run the requested ablation factors as one scheduled job batch.
+
+    Returns ``{factor: AblationResult}`` keyed by the CLI factor names
+    (``surrogate``, ``encoding``, ``reset``, ``attack``).
+
+    Parameters mirror :func:`~repro.experiments.fig9_sweetspots.run_fig9`:
+    ``jobs`` parallelizes across *all* requested factors at once,
+    ``cache_dir``/``resume`` checkpoint and resume individual variants,
+    and ``epsilons`` overrides the profile's sweep — with cached weights
+    this re-attacks trained models without retraining them.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    # Dedupe while preserving order: a repeated --factor must not
+    # schedule (and train) the same variants twice.
+    factors = tuple(dict.fromkeys(factors))
+    tasks = build_ablation_tasks(
+        profile,
+        factors=factors,
+        surrogate_families=surrogate_families,
+        attack_families=attack_families,
+        epsilons=epsilons,
     )
+    # Non-default families change the task list but not the context, so
+    # the spawn spec (which only rebuilds the context) stays valid.
+    results, metadata = run_sweep_schedule(
+        profile,
+        build_ablation_context,
+        tasks,
+        "ablation",
+        verbose=verbose,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        start_method=start_method,
+    )
+    return _group_by_factor(tasks, results, metadata)
 
 
 def run_surrogate_ablation(
     profile: ExperimentProfile | str = "smoke",
-    families: tuple[str, ...] = ("superspike", "triangle", "arctan"),
+    families: tuple[str, ...] = DEFAULT_SURROGATE_FAMILIES,
+    **engine_kwargs,
 ) -> AblationResult:
     """A1: how the surrogate-gradient family changes measured robustness.
 
@@ -120,75 +191,31 @@ def run_surrogate_ablation(
     gradient (the attacker differentiates the true deployed graph), so
     sharper surrogates both hamper training and mask attack gradients.
     """
-    if isinstance(profile, str):
-        profile = get_profile(profile)
-    seeds = SeedSequence(profile.seed)
-    train, test, _ = load_profile_data(profile)
-    subset = test.take(profile.attack_subset)
-    epsilons = _ablation_epsilons(profile)
-    v_th, _t = profile.sweet_spots[0]
-    variants: dict[str, tuple[float, ...]] = {}
-    cleans: dict[str, float] = {}
-    for family in families:
-        params = LIFParameters(v_th=v_th, surrogate=family)
-        model = _reference_builder(profile, seeds, lif_params=params)
-        clean, curve = _train_and_sweep(model, profile, train, subset, epsilons)
-        variants[family] = curve
-        cleans[family] = clean
-    return AblationResult("surrogate", epsilons, variants, cleans)
+    return run_ablation_suite(
+        profile, factors=("surrogate",), surrogate_families=families, **engine_kwargs
+    )["surrogate"]
 
 
-def run_encoding_ablation(profile: ExperimentProfile | str = "smoke") -> AblationResult:
+def run_encoding_ablation(
+    profile: ExperimentProfile | str = "smoke", **engine_kwargs
+) -> AblationResult:
     """A2: constant-current vs Poisson rate encoding under PGD."""
-    if isinstance(profile, str):
-        profile = get_profile(profile)
-    seeds = SeedSequence(profile.seed)
-    train, test, _ = load_profile_data(profile)
-    subset = test.take(profile.attack_subset)
-    epsilons = _ablation_epsilons(profile)
-    variants: dict[str, tuple[float, ...]] = {}
-    cleans: dict[str, float] = {}
-
-    constant = _reference_builder(profile, seeds)
-    clean, curve = _train_and_sweep(constant, profile, train, subset, epsilons)
-    variants["constant_current"] = curve
-    cleans["constant_current"] = clean
-
-    poisson_model = _reference_builder(profile, seeds)
-    # Poisson rate coding expects non-negative intensities; shift the
-    # normalized inputs by scaling probabilities against the positive range.
-    poisson_model.encoder = PoissonEncoder(
-        scale=0.35, rng=seeds.child_seed("ablation", "poisson")
-    )
-    clean, curve = _train_and_sweep(poisson_model, profile, train, subset, epsilons)
-    variants["poisson_rate"] = curve
-    cleans["poisson_rate"] = clean
-    return AblationResult("encoding", epsilons, variants, cleans)
+    return run_ablation_suite(profile, factors=("encoding",), **engine_kwargs)[
+        "encoding"
+    ]
 
 
-def run_reset_ablation(profile: ExperimentProfile | str = "smoke") -> AblationResult:
+def run_reset_ablation(
+    profile: ExperimentProfile | str = "smoke", **engine_kwargs
+) -> AblationResult:
     """A4: hard (reset-to-zero) vs soft (subtractive) membrane reset."""
-    if isinstance(profile, str):
-        profile = get_profile(profile)
-    seeds = SeedSequence(profile.seed)
-    train, test, _ = load_profile_data(profile)
-    subset = test.take(profile.attack_subset)
-    epsilons = _ablation_epsilons(profile)
-    v_th, _t = profile.sweet_spots[0]
-    variants: dict[str, tuple[float, ...]] = {}
-    cleans: dict[str, float] = {}
-    for mode in ("hard", "soft"):
-        params = LIFParameters(v_th=v_th, reset_mode=mode)
-        model = _reference_builder(profile, seeds, lif_params=params)
-        clean, curve = _train_and_sweep(model, profile, train, subset, epsilons)
-        variants[f"reset_{mode}"] = curve
-        cleans[f"reset_{mode}"] = clean
-    return AblationResult("reset_mode", epsilons, variants, cleans)
+    return run_ablation_suite(profile, factors=("reset",), **engine_kwargs)["reset"]
 
 
 def run_attack_ablation(
     profile: ExperimentProfile | str = "smoke",
-    attacks: tuple[str, ...] = ("pgd", "bim", "fgsm", "sign_noise", "uniform_noise"),
+    attacks: tuple[str, ...] = DEFAULT_ATTACK_FAMILIES,
+    **engine_kwargs,
 ) -> AblationResult:
     """A3: attack families on one trained reference SNN.
 
@@ -196,28 +223,6 @@ def run_attack_ablation(
     fails to beat the magnitude-matched sign-noise control would indicate
     fully masked gradients.
     """
-    if isinstance(profile, str):
-        profile = get_profile(profile)
-    seeds = SeedSequence(profile.seed)
-    train, test, _ = load_profile_data(profile)
-    subset = test.take(profile.attack_subset)
-    epsilons = _ablation_epsilons(profile)
-    clip_min, clip_max = normalized_bounds()
-    model = _reference_builder(profile, seeds)
-    Trainer(model, profile.training_config()).fit(train)
-    clean = evaluate_clean_accuracy(model, subset)
-    variants: dict[str, tuple[float, ...]] = {}
-    for name in attacks:
-        robustness = []
-        for eps in epsilons:
-            attack = make_attack(
-                name,
-                eps,
-                steps=profile.pgd_steps,
-                seed=profile.seed,
-                clip_min=clip_min,
-                clip_max=clip_max,
-            )
-            robustness.append(evaluate_attack(model, attack, subset).robustness)
-        variants[name] = tuple(robustness)
-    return AblationResult("attack_family", epsilons, variants, {"reference_snn": clean})
+    return run_ablation_suite(
+        profile, factors=("attack",), attack_families=attacks, **engine_kwargs
+    )["attack"]

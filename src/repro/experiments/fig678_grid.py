@@ -13,8 +13,7 @@ from pathlib import Path
 
 from repro.engine import CellCache, context_fingerprint
 from repro.experiments.profiles import ExperimentProfile, get_profile
-from repro.experiments.workloads import build_grid_model_factory, load_profile_data
-from repro.robustness.config import ExplorationConfig
+from repro.experiments.sweeps import build_grid_context, spawn_spec_for
 from repro.robustness.exploration import RobustnessExplorer
 from repro.robustness.report import render_heatmap
 from repro.robustness.results import ExplorationResult
@@ -28,6 +27,7 @@ def run_grid_exploration(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     resume: bool = False,
+    start_method: str = "auto",
 ) -> ExplorationResult:
     """Run Algorithm 1 over the profile's grid (Figs. 6-8 in one pass).
 
@@ -41,35 +41,27 @@ def run_grid_exploration(
         Worker processes for cell evaluation (``1`` = serial; parallel
         runs produce bitwise-identical cell values).
     cache_dir:
-        Directory for per-cell JSON checkpoints.  When set, completed
-        cells are written there as the run progresses.
+        Directory for per-cell JSON checkpoints and trained-weight
+        archives.  When set, completed cells and their weights are
+        written there as the run progresses.
     resume:
-        Reuse checkpointed cells from ``cache_dir`` instead of
-        recomputing them (continue an interrupted run).
+        Reuse checkpointed cells (and cached trained weights, for cells
+        whose checkpoint is missing but whose training already ran) from
+        ``cache_dir`` instead of recomputing them.
+    start_method:
+        Pool backend (``auto``/``fork``/``spawn``); spawn workers rebuild
+        the job context from the profile name.
     """
     if resume and cache_dir is None:
         raise ValueError("resume=True requires cache_dir to resume from")
     if isinstance(profile, str):
         profile = get_profile(profile)
-    train, test, (clip_min, clip_max) = load_profile_data(profile)
-    attack_subset = test.take(profile.attack_subset)
-    config = ExplorationConfig(
-        v_thresholds=profile.v_thresholds,
-        time_windows=profile.time_windows,
-        epsilons=profile.grid_epsilons,
-        accuracy_threshold=profile.accuracy_threshold,
-        attack="pgd",
-        attack_steps=profile.pgd_steps,
-        clip_min=clip_min,
-        clip_max=clip_max,
-        training=profile.training_config(),
-        seed=profile.seed,
-    )
+    context = build_grid_context(profile, cache_dir=cache_dir, reuse_weights=resume)
     explorer = RobustnessExplorer(
-        model_factory=build_grid_model_factory(profile),
-        train_set=train,
-        test_set=attack_subset,
-        config=config,
+        model_factory=context.model_factory,
+        train_set=context.train_set,
+        test_set=context.test_set,
+        config=context.config,
     )
     cache = None
     if cache_dir is not None:
@@ -85,7 +77,16 @@ def run_grid_exploration(
             },
         )
         cache = CellCache(cache_dir, fingerprint)
-    result = explorer.run(verbose=verbose, jobs=jobs, cache=cache, resume=resume)
+    spec = spawn_spec_for("build_grid_context", profile, cache_dir, resume)
+    result = explorer.run(
+        verbose=verbose,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        start_method=start_method,
+        context_spec=spec,
+        weight_cache=context.weight_cache,
+    )
     result.metadata["profile"] = profile.name
     return result
 

@@ -11,29 +11,30 @@ The paper's claims checked here:
 * (2.25, 56) is *less* robust than the CNN — high clean accuracy does
   not guarantee robustness;
 * (1, 32) has mediocre clean accuracy yet still beats the CNN for ε > 1.
+
+Each trained variant is one :class:`~repro.engine.sweep.SweepTask`
+scheduled through :mod:`repro.engine`, so the four trainings parallelize
+(``jobs``), checkpoint and resume (``cache_dir``/``resume``), and —
+because trained weights are cached separately from sweep results — a
+re-run with a different ε list skips retraining entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.attacks.metrics import evaluate_clean_accuracy
+from repro.engine.sweep import SweepResult, SweepTask
 from repro.experiments.profiles import ExperimentProfile, get_profile
-from repro.experiments.workloads import (
-    build_grid_model_factory,
-    load_profile_data,
-    make_profile_attack_builder,
+from repro.experiments.sweeps import (
+    build_fig9_context,
+    build_fig9_tasks,
+    run_sweep_schedule,
 )
-from repro.models.registry import build_model
 from repro.robustness.report import render_curve_table
-from repro.robustness.security import RobustnessCurve, robustness_curve
-from repro.training.trainer import Trainer
-from repro.utils.logging import get_logger
-from repro.utils.seeding import SeedSequence
+from repro.robustness.security import RobustnessCurve
 
 __all__ = ["Fig9Result", "run_fig9"]
-
-_logger = get_logger("experiments.fig9")
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,8 @@ class Fig9Result:
     snn_curves: dict[tuple[float, int], RobustnessCurve]
     cnn_curve: RobustnessCurve
     clean_accuracies: dict[str, float]
+    metadata: dict = field(default_factory=dict)
+    """Engine accounting (schedule stats, weight-cache reuse counts)."""
 
     def gap_vs_cnn(self, v_th: float, time_window: int) -> tuple[float, ...]:
         """(SNN − CNN) robustness per ε for one tracked combination."""
@@ -77,47 +80,81 @@ class Fig9Result:
                 for (v_th, t), curve in self.snn_curves.items()
             },
             "clean_accuracies": dict(self.clean_accuracies),
+            "metadata": dict(self.metadata),
         }
 
 
-def run_fig9(profile: ExperimentProfile | str = "smoke", verbose: bool = False) -> Fig9Result:
-    """Reproduce the Figure-9 sweet-spot tracking under ``profile``."""
+def _curve(task: SweepTask, result: SweepResult) -> RobustnessCurve:
+    robustness = tuple(result.curves["pgd"][eps] for eps in task.epsilons)
+    return RobustnessCurve(
+        label=result.key,
+        epsilons=task.epsilons,
+        robustness=robustness,
+        evaluations=(),
+    )
+
+
+def run_fig9(
+    profile: ExperimentProfile | str = "smoke",
+    verbose: bool = False,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    resume: bool = False,
+    start_method: str = "auto",
+    epsilons: tuple[float, ...] | None = None,
+) -> Fig9Result:
+    """Reproduce the Figure-9 sweet-spot tracking under ``profile``.
+
+    Parameters
+    ----------
+    profile:
+        Experiment scale (name or :class:`ExperimentProfile`).
+    verbose:
+        Log one line per completed variant.
+    jobs:
+        Worker processes; each trained variant is one job.
+    cache_dir:
+        Directory for sweep checkpoints and trained-weight archives.
+    resume:
+        Reuse checkpointed sweeps and cached weights from ``cache_dir``.
+    start_method:
+        Pool backend (``auto``/``fork``/``spawn``); spawn workers rebuild
+        the context from the profile name.
+    epsilons:
+        Override the profile's ε sweep.  With ``resume`` and a warm
+        ``cache_dir`` this re-attacks cached trained models without
+        retraining them.
+    """
     if isinstance(profile, str):
         profile = get_profile(profile)
-    seeds = SeedSequence(profile.seed)
-    train, test, _bounds = load_profile_data(profile)
-    attack_subset = test.take(profile.attack_subset)
-    training = profile.training_config()
-    attack_builder = make_profile_attack_builder(profile)
-    factory = build_grid_model_factory(profile)
+    tasks = build_fig9_tasks(profile, epsilons=epsilons)
+    results, metadata = run_sweep_schedule(
+        profile,
+        build_fig9_context,
+        tasks,
+        "fig9",
+        verbose=verbose,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        start_method=start_method,
+    )
 
     clean: dict[str, float] = {}
-
-    cnn = build_model(
-        profile.cnn_model, input_size=profile.image_size, rng=seeds.child_seed("fig9", "cnn")
-    )
-    if verbose:
-        _logger.info("training CNN (%s)", profile.cnn_model)
-    Trainer(cnn, training).fit(train)
-    clean["cnn"] = evaluate_clean_accuracy(cnn, test)
-    cnn_curve = robustness_curve(
-        cnn, attack_subset, profile.curve_epsilons, attack_builder, label="cnn"
-    )
-
     snn_curves: dict[tuple[float, int], RobustnessCurve] = {}
-    for v_th, time_window in profile.sweet_spots:
-        label = f"snn_vth{v_th:g}_T{time_window}"
-        if verbose:
-            _logger.info("training SNN Vth=%g T=%d", v_th, time_window)
-        model = factory(v_th, time_window, seeds.child_seed("fig9", v_th, time_window))
-        Trainer(model, training).fit(train)
-        clean[label] = evaluate_clean_accuracy(model, test)
-        snn_curves[(float(v_th), int(time_window))] = robustness_curve(
-            model, attack_subset, profile.curve_epsilons, attack_builder, label=label
-        )
+    cnn_curve: RobustnessCurve | None = None
+    for task, result in zip(tasks, results):
+        clean[result.key] = result.clean_accuracy
+        if task.kind == "fig9_cnn":
+            cnn_curve = _curve(task, result)
+        else:
+            combo = (float(task.param("v_th")), int(task.param("time_window")))
+            snn_curves[combo] = _curve(task, result)
+    assert cnn_curve is not None, "fig9 task list lost its CNN comparator"
     return Fig9Result(
-        epsilons=tuple(profile.curve_epsilons),
+        epsilons=tasks[0].epsilons,
         snn_curves=snn_curves,
         cnn_curve=cnn_curve,
         clean_accuracies=clean,
+        metadata=metadata,
     )

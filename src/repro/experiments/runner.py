@@ -6,18 +6,27 @@ Run the Figure-6/7/8 grid at smoke scale and save everything::
 
     python -m repro.experiments grid --profile smoke --out results/
 
-Run the grid on two worker processes, then continue after an interrupt::
+Run any engine-backed experiment on two worker processes, then continue
+after an interrupt::
 
-    python -m repro.experiments grid --profile smoke --jobs 2
-    python -m repro.experiments grid --profile smoke --jobs 2 --resume
+    python -m repro.experiments fig9 --profile smoke --jobs 2
+    python -m repro.experiments fig9 --profile smoke --jobs 2 --resume
 
-Run the motivational study::
+Re-attack the cached trained models with a different ε list (no
+retraining thanks to the weight cache)::
 
-    python -m repro.experiments fig1 --profile smoke
+    python -m repro.experiments fig9 --profile smoke --resume --epsilons 0.4,0.8,1.6
 
-Run one ablation::
+Run one ablation factor on a platform without ``fork``::
 
-    python -m repro.experiments ablation-surrogate --profile smoke
+    python -m repro.experiments ablation --factor surrogate --start-method spawn --jobs 2
+
+Inspect and prune the checkpoint/weight caches::
+
+    python -m repro.experiments cache stats --cache-dir results/cell_cache
+    python -m repro.experiments cache gc --cache-dir results/cell_cache --max-age-days 7
+
+See ``docs/cli.md`` for the full flag reference.
 """
 
 from __future__ import annotations
@@ -28,12 +37,14 @@ import sys
 from collections.abc import Callable
 from pathlib import Path
 
-from repro.experiments.ablations import (
-    run_attack_ablation,
-    run_encoding_ablation,
-    run_reset_ablation,
-    run_surrogate_ablation,
+from repro.engine.cache import (
+    cache_stats,
+    clear_cache_dir,
+    fingerprint_matches,
+    gc_cache_dir,
+    scan_cache_dir,
 )
+from repro.experiments.ablations import run_ablation_suite
 from repro.experiments.fig1_motivation import run_fig1
 from repro.experiments.fig678_grid import (
     fig6_table,
@@ -43,19 +54,165 @@ from repro.experiments.fig678_grid import (
 )
 from repro.experiments.fig9_sweetspots import run_fig9
 from repro.experiments.profiles import available_profiles, get_profile
+from repro.experiments.sweeps import ABLATION_FACTORS
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
-_EXPERIMENTS = (
-    "fig1",
-    "grid",
-    "fig9",
-    "ablation-surrogate",
-    "ablation-encoding",
-    "ablation-reset",
-    "ablation-attack",
-    "all",
-)
+_START_METHODS = ("auto", "fork", "spawn")
+_CACHE_ACTIONS = ("stats", "inspect", "clear", "gc")
+
+_DEFAULT_CACHE_DIR = Path(".repro_cache") / "cells"
+
+
+def _parse_epsilons(text: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--epsilons expects comma-separated numbers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("--epsilons needs at least one value")
+    if any(eps < 0 for eps in values):
+        raise argparse.ArgumentTypeError("epsilons must be >= 0")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (exposed so docs checks can introspect it)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the figures of El-Allami et al., DATE 2021.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--profile",
+        default="smoke",
+        choices=available_profiles(),
+        help="experiment scale (default: smoke)",
+    )
+    common.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for JSON result artifacts (optional)",
+    )
+
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default: 1, serial; parallel runs give "
+        "identical results)",
+    )
+    engine.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse checkpointed results and cached trained weights from a "
+        "previous (possibly interrupted) run instead of recomputing them",
+    )
+    engine.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable checkpointing and weight caching entirely",
+    )
+    engine.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="checkpoint/weight directory (default: <out>/cell_cache, or "
+        ".repro_cache/cells without --out)",
+    )
+    engine.add_argument(
+        "--start-method",
+        choices=_START_METHODS,
+        default="auto",
+        help="worker pool backend: auto prefers fork and falls back to "
+        "spawn, which rebuilds the job context per worker (default: auto)",
+    )
+
+    epsilons = argparse.ArgumentParser(add_help=False)
+    epsilons.add_argument(
+        "--epsilons",
+        type=_parse_epsilons,
+        default=None,
+        metavar="E1,E2,...",
+        help="override the profile's noise-budget sweep; combined with "
+        "--resume this reuses cached trained weights and only recomputes "
+        "the security analysis",
+    )
+
+    subparsers.add_parser(
+        "fig1",
+        parents=[common],
+        help="Fig. 1 motivational CNN-vs-SNN comparison (serial)",
+    )
+    subparsers.add_parser(
+        "grid",
+        parents=[common, engine],
+        help="Figs. 6-8 (Vth, T) grid exploration (Algorithm 1)",
+    )
+    subparsers.add_parser(
+        "fig9",
+        parents=[common, engine, epsilons],
+        help="Fig. 9 sweet-spot robustness curves vs the CNN",
+    )
+    ablation = subparsers.add_parser(
+        "ablation",
+        parents=[common, engine, epsilons],
+        help="ablation suite (surrogate, encoding, reset, attack)",
+    )
+    ablation.add_argument(
+        "--factor",
+        action="append",
+        choices=ABLATION_FACTORS,
+        default=None,
+        help="run only this factor (repeatable; default: all four)",
+    )
+    subparsers.add_parser(
+        "all",
+        parents=[common, engine],
+        help="every experiment in sequence, isolating failures",
+    )
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect or prune checkpoint and weight caches",
+    )
+    cache.add_argument(
+        "action",
+        choices=_CACHE_ACTIONS,
+        help="stats: aggregate counts/sizes; inspect: list entries; "
+        "clear: delete entries; gc: delete by age and/or fingerprint",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=_DEFAULT_CACHE_DIR,
+        help=f"cache directory to operate on (default: {_DEFAULT_CACHE_DIR})",
+    )
+    cache.add_argument(
+        "--fingerprint",
+        default=None,
+        help="restrict to entries whose context fingerprint starts with "
+        "this prefix (as shown by stats/inspect)",
+    )
+    cache.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="gc only: delete entries last written more than this many "
+        "days ago",
+    )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="stats/inspect: emit machine-readable JSON",
+    )
+    return parser
 
 
 def _write_json(out_dir: Path | None, name: str, payload: dict | str) -> None:
@@ -66,6 +223,19 @@ def _write_json(out_dir: Path | None, name: str, payload: dict | str) -> None:
     text = payload if isinstance(payload, str) else json.dumps(payload, indent=2, sort_keys=True)
     path.write_text(text)
     print(f"[saved] {path}")
+
+
+def _print_engine_summary(metadata: dict) -> None:
+    stats = metadata.get("engine")
+    if not stats:
+        return
+    line = (
+        f"[engine] method={stats['start_method']} jobs={stats['jobs']} "
+        f"cached={stats['cached_cells']} computed={stats['computed_cells']}"
+    )
+    if "weights_reused" in metadata:
+        line += f" weights_reused={metadata['weights_reused']}"
+    print(line)
 
 
 def _run_fig1(profile, out_dir: Path | None) -> None:
@@ -80,12 +250,18 @@ def _run_grid(
     jobs: int = 1,
     cache_dir: Path | None = None,
     resume: bool = False,
+    start_method: str = "auto",
 ) -> None:
     from repro.errors import ExplorationError
     from repro.robustness import select_sweet_spots
 
     result = run_grid_exploration(
-        profile, verbose=True, jobs=jobs, cache_dir=cache_dir, resume=resume
+        profile,
+        verbose=True,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        start_method=start_method,
     )
     print(fig6_table(result))
     print()
@@ -100,81 +276,171 @@ def _run_grid(
         print(f"\nrecommended (Vth, T) sweet spots at eps={epsilon:g}:")
         for pick in picks:
             print(f"  {pick.render()}")
+    _print_engine_summary(result.metadata)
     _write_json(out_dir, f"grid_{profile.name}", result.to_json())
 
 
-def _run_fig9(profile, out_dir: Path | None) -> None:
-    result = run_fig9(profile, verbose=True)
+def _run_fig9(
+    profile,
+    out_dir: Path | None,
+    jobs: int = 1,
+    cache_dir: Path | None = None,
+    resume: bool = False,
+    start_method: str = "auto",
+    epsilons: tuple[float, ...] | None = None,
+) -> None:
+    result = run_fig9(
+        profile,
+        verbose=True,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        start_method=start_method,
+        epsilons=epsilons,
+    )
     print(result.render())
+    _print_engine_summary(result.metadata)
     _write_json(out_dir, f"fig9_{profile.name}", result.as_dict())
 
 
-def _run_ablation(runner, tag: str, profile, out_dir: Path | None) -> None:
-    result = runner(profile)
-    print(result.render())
-    _write_json(out_dir, f"ablation_{tag}_{profile.name}", result.as_dict())
+def _run_ablation(
+    profile,
+    out_dir: Path | None,
+    factors: tuple[str, ...] = ABLATION_FACTORS,
+    jobs: int = 1,
+    cache_dir: Path | None = None,
+    resume: bool = False,
+    start_method: str = "auto",
+    epsilons: tuple[float, ...] | None = None,
+) -> None:
+    suite = run_ablation_suite(
+        profile,
+        factors=factors,
+        verbose=True,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        start_method=start_method,
+        epsilons=epsilons,
+    )
+    for factor in factors:
+        result = suite[factor]
+        print(result.render())
+        print()
+        _write_json(
+            out_dir, f"ablation_{factor}_{profile.name}", result.as_dict()
+        )
+    first = suite[factors[0]]
+    _print_engine_summary(first.metadata)
+
+
+def _format_size(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{int(value)}B"
+
+
+def _run_cache(args) -> int:
+    directory: Path = args.cache_dir
+    if args.action != "gc" and args.max_age_days is not None:
+        # Silently ignoring an age bound would be harmless on stats/inspect
+        # and catastrophic on clear; reject it uniformly — the user meant
+        # `cache gc --max-age-days N`.
+        print(
+            f"cache {args.action} does not take --max-age-days; "
+            "use `cache gc --max-age-days N` for age-based selection",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "stats":
+        stats = cache_stats(directory, fingerprint=args.fingerprint)
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"cache directory: {stats['directory']}")
+        print(f"entries: {stats['entries']} ({_format_size(stats['total_bytes'])})")
+        for kind, bucket in sorted(stats["by_kind"].items()):
+            print(
+                f"  {kind}: {bucket['entries']} entries, "
+                f"{_format_size(bucket['bytes'])}"
+            )
+        for fingerprint, count in stats["by_fingerprint"].items():
+            print(f"  fingerprint {fingerprint}: {count} entries")
+        return 0
+    if args.action == "inspect":
+        entries = [
+            e for e in scan_cache_dir(directory)
+            if fingerprint_matches(e, args.fingerprint)
+        ]
+        entries.sort(key=lambda e: e.modified, reverse=True)
+        if args.json:
+            print(json.dumps(
+                [
+                    {
+                        "path": str(e.path),
+                        "kind": e.kind,
+                        "fingerprint": e.fingerprint,
+                        "size_bytes": e.size_bytes,
+                        "age_seconds": round(e.age_seconds(), 1),
+                    }
+                    for e in entries
+                ],
+                indent=2,
+            ))
+            return 0
+        if not entries:
+            print(f"no cache entries under {directory}")
+            return 0
+        for entry in entries:
+            age_hours = entry.age_seconds() / 3600
+            print(
+                f"{entry.kind:<8} {entry.fingerprint} "
+                f"{_format_size(entry.size_bytes):>10} {age_hours:8.1f}h  "
+                f"{entry.path.name}"
+            )
+        return 0
+    if args.action == "clear":
+        removed = clear_cache_dir(directory, fingerprint=args.fingerprint)
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    # gc
+    if args.max_age_days is None and args.fingerprint is None:
+        print(
+            "cache gc needs --max-age-days and/or --fingerprint "
+            "(use `cache clear` to drop everything)",
+            file=sys.stderr,
+        )
+        return 2
+    max_age = None if args.max_age_days is None else args.max_age_days * 86400.0
+    removed = gc_cache_dir(
+        directory, max_age_seconds=max_age, fingerprint=args.fingerprint
+    )
+    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Reproduce the figures of El-Allami et al., DATE 2021.",
-    )
-    parser.add_argument("experiment", choices=_EXPERIMENTS, help="what to run")
-    parser.add_argument(
-        "--profile",
-        default="smoke",
-        choices=available_profiles(),
-        help="experiment scale (default: smoke)",
-    )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=None,
-        help="directory for JSON result artifacts (optional)",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for grid cells (default: 1, serial; "
-        "parallel runs give identical results)",
-    )
-    parser.add_argument(
-        "--resume",
-        action="store_true",
-        help="reuse checkpointed grid cells from a previous (possibly "
-        "interrupted) run instead of recomputing them",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable per-cell checkpointing entirely",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help="cell checkpoint directory (default: <out>/cell_cache, or "
-        ".repro_cache/cells without --out)",
-    )
+    parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "cache":
+        return _run_cache(args)
+
     profile = get_profile(args.profile)
+    if args.command == "fig1":
+        _run_fig1(profile, args.out)
+        return 0
+
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.resume and args.no_cache:
         parser.error("--resume needs checkpoints; drop --no-cache")
     if args.cache_dir is not None and args.no_cache:
         parser.error("--cache-dir conflicts with --no-cache")
-    grid_flags_used = (
-        args.jobs != 1 or args.resume or args.no_cache or args.cache_dir is not None
-    )
-    if grid_flags_used and args.experiment not in ("grid", "all"):
-        parser.error(
-            "--jobs/--resume/--cache-dir/--no-cache apply to the grid "
-            "experiment only"
-        )
     cache_dir: Path | None = None
     if not args.no_cache:
         if args.cache_dir is not None:
@@ -182,42 +448,46 @@ def main(argv: list[str] | None = None) -> int:
         elif args.out is not None:
             cache_dir = args.out / "cell_cache"
         else:
-            cache_dir = Path(".repro_cache") / "cells"
+            cache_dir = _DEFAULT_CACHE_DIR
+    engine_kwargs = dict(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        resume=args.resume,
+        start_method=args.start_method,
+    )
+    epsilons = getattr(args, "epsilons", None)
+    # dict.fromkeys: drop repeated --factor flags while keeping order
+    factors = tuple(dict.fromkeys(getattr(args, "factor", None) or ABLATION_FACTORS))
 
     planned: list[tuple[str, Callable[[], None]]] = []
-    if args.experiment in ("fig1", "all"):
+    if args.command in ("fig1", "all"):
         planned.append(("fig1", lambda: _run_fig1(profile, args.out)))
-    if args.experiment in ("grid", "all"):
+    if args.command in ("grid", "all"):
+        planned.append(
+            ("grid", lambda: _run_grid(profile, args.out, **engine_kwargs))
+        )
+    if args.command in ("fig9", "all"):
         planned.append(
             (
-                "grid",
-                lambda: _run_grid(
-                    profile,
-                    args.out,
-                    jobs=args.jobs,
-                    cache_dir=cache_dir,
-                    resume=args.resume,
+                "fig9",
+                lambda: _run_fig9(
+                    profile, args.out, epsilons=epsilons, **engine_kwargs
                 ),
             )
         )
-    if args.experiment in ("fig9", "all"):
-        planned.append(("fig9", lambda: _run_fig9(profile, args.out)))
-    ablations = (
-        ("ablation-surrogate", run_surrogate_ablation, "surrogate"),
-        ("ablation-encoding", run_encoding_ablation, "encoding"),
-        ("ablation-reset", run_reset_ablation, "reset"),
-        ("ablation-attack", run_attack_ablation, "attack"),
-    )
-    for exp_name, runner, tag in ablations:
-        if args.experiment in (exp_name, "all"):
-            planned.append(
-                (
-                    exp_name,
-                    lambda runner=runner, tag=tag: _run_ablation(
-                        runner, tag, profile, args.out
-                    ),
-                )
+    if args.command in ("ablation", "all"):
+        planned.append(
+            (
+                "ablation",
+                lambda: _run_ablation(
+                    profile,
+                    args.out,
+                    factors=factors,
+                    epsilons=epsilons,
+                    **engine_kwargs,
+                ),
             )
+        )
 
     # In "all" mode one failing experiment must not abort the rest: record
     # the failure, keep producing the other artifacts, and report a
@@ -227,7 +497,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             step()
         except Exception as error:
-            if args.experiment != "all":
+            if args.command != "all":
                 raise
             failed.append(name)
             print(

@@ -114,6 +114,9 @@ class RobustnessExplorer:
         jobs: int = 1,
         cache: "CellCache | None" = None,
         resume: bool = False,
+        start_method: str = "auto",
+        context_spec=None,
+        weight_cache=None,
     ) -> ExplorationResult:
         """Execute the full grid exploration and collect results.
 
@@ -131,6 +134,17 @@ class RobustnessExplorer:
             Reuse cells already present in ``cache`` (skip recomputing
             them) — the "continue an interrupted run" switch.  Requires
             ``cache``.
+        start_method:
+            Pool backend: ``auto`` (prefer fork), ``fork`` or ``spawn``
+            (needs ``context_spec``).
+        context_spec:
+            :class:`~repro.engine.scheduler.ContextSpec` rebuilding this
+            exploration's job context inside spawn workers.
+        weight_cache:
+            Optional :class:`~repro.engine.cache.WeightCache`.  Trained
+            cell weights are always written through it; with ``resume``
+            they replace retraining, so a re-sweep with new ε budgets
+            only recomputes the security analysis.
         """
         from repro.engine.scheduler import run_cell_tasks
 
@@ -157,13 +171,18 @@ class RobustnessExplorer:
                 {e: round(r, 3) for e, r in cell.robustness.items()},
             )
 
+        context = self.context
+        context.weight_cache = weight_cache
+        context.reuse_weights = weight_cache is not None and resume
         cells, stats = run_cell_tasks(
-            self.context,
+            context,
             tasks,
             jobs=jobs,
             cache=cache,
             resume=resume,
             progress=progress,
+            start_method=start_method,
+            context_spec=context_spec,
         )
         return ExplorationResult(
             v_thresholds=self.config.v_thresholds,

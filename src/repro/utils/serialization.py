@@ -3,11 +3,16 @@
 Model parameters and experiment result grids are persisted as compressed
 ``.npz`` archives of flat ``name -> array`` mappings.  JSON-friendly
 metadata can ride along under a reserved key.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent writers —
+e.g. engine worker processes checkpointing trained weights into a shared
+cache directory — never leave a half-written archive behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -20,11 +25,18 @@ def save_npz(
     arrays: dict[str, np.ndarray],
     metadata: dict | None = None,
 ) -> Path:
-    """Save ``arrays`` (plus optional JSON-serialisable ``metadata``).
+    """Atomically save ``arrays`` (plus optional JSON-serialisable ``metadata``).
 
     Returns the path written.  Parent directories are created on demand.
+    The archive appears under its final name only once fully written, so
+    readers racing a writer see either the old file or the new one, never
+    a torn archive.
     """
     path = Path(path)
+    if path.suffix != ".npz":
+        # numpy appends ".npz" to names missing the suffix, which would
+        # break the temp-file rename below; normalise up front instead.
+        path = path.with_name(path.name + ".npz")
     if _METADATA_KEY in arrays:
         raise ValueError(f"array name {_METADATA_KEY!r} is reserved")
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -32,7 +44,15 @@ def save_npz(
     if metadata is not None:
         encoded = json.dumps(metadata, sort_keys=True)
         payload[_METADATA_KEY] = np.frombuffer(encoded.encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **payload)
+    # Leading dot: temp files must never match the final-archive naming
+    # scheme, or directory scans (e.g. the engine's cache maintenance)
+    # would count — and could delete — an archive mid-write.
+    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+    try:
+        np.savez_compressed(tmp, **payload)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 

@@ -45,10 +45,23 @@ class TestAblationCLI:
     def test_cli_ablation_reset(self, tmp_path, capsys):
         from repro.experiments.runner import main
 
-        code = main(["ablation-reset", "--profile", "micro", "--out", str(tmp_path)])
+        code = main(
+            ["ablation", "--factor", "reset", "--profile", "micro",
+             "--out", str(tmp_path), "--no-cache"]
+        )
         assert code == 0
         assert "Ablation [reset_mode]" in capsys.readouterr().out
         assert (tmp_path / "ablation_reset_micro.json").exists()
+
+    def test_cli_ablation_all_factors_write_artifacts(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        code = main(["ablation", "--profile", "micro", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        for factor in ("surrogate", "encoding", "reset", "attack"):
+            assert (tmp_path / f"ablation_{factor}_micro.json").exists()
+        assert "[engine]" in out
 
     def test_cli_fig9(self, tmp_path, capsys):
         from repro.experiments.runner import main

@@ -1,0 +1,32 @@
+"""The documentation stays consistent with the code (links + CLI flags).
+
+Runs ``scripts/check_docs.py`` — the same check CI's docs job executes —
+so a flag added to argparse without a docs/cli.md entry (or vice versa)
+fails the tier-1 suite, not just CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_check_docs_passes():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"docs check failed:\n{result.stderr}\n{result.stdout}"
+    )
+    assert "docs ok" in result.stdout
+
+
+def test_docs_exist():
+    for name in ("architecture.md", "cli.md", "reproducing.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"

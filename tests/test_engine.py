@@ -206,15 +206,21 @@ class TestRunnerCLIFlags:
     def test_grid_flags_threaded_and_json_written(self, monkeypatch, tmp_path, capsys):
         captured = {}
 
-        def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False):
+        def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False,
+                      start_method="auto"):
             captured.update(
-                profile=profile.name, jobs=jobs, cache_dir=cache_dir, resume=resume
+                profile=profile.name,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                resume=resume,
+                start_method=start_method,
             )
             return _stub_result()
 
         monkeypatch.setattr(runner_module, "run_grid_exploration", fake_grid)
         code = main(
-            ["grid", "--profile", "micro", "--out", str(tmp_path), "--jobs", "3", "--resume"]
+            ["grid", "--profile", "micro", "--out", str(tmp_path), "--jobs", "3",
+             "--resume", "--start-method", "fork"]
         )
         assert code == 0
         assert captured == {
@@ -222,6 +228,7 @@ class TestRunnerCLIFlags:
             "jobs": 3,
             "cache_dir": tmp_path / "cell_cache",
             "resume": True,
+            "start_method": "fork",
         }
         saved = tmp_path / "grid_micro.json"
         assert saved.exists()
@@ -231,8 +238,8 @@ class TestRunnerCLIFlags:
     def test_no_cache_disables_checkpoint_dir(self, monkeypatch, tmp_path, capsys):
         captured = {}
 
-        def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False):
-            captured["cache_dir"] = cache_dir
+        def fake_grid(profile, verbose=False, **kwargs):
+            captured["cache_dir"] = kwargs["cache_dir"]
             return _stub_result()
 
         monkeypatch.setattr(runner_module, "run_grid_exploration", fake_grid)
@@ -242,8 +249,8 @@ class TestRunnerCLIFlags:
     def test_explicit_cache_dir_wins(self, monkeypatch, tmp_path, capsys):
         captured = {}
 
-        def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False):
-            captured["cache_dir"] = cache_dir
+        def fake_grid(profile, verbose=False, **kwargs):
+            captured["cache_dir"] = kwargs["cache_dir"]
             return _stub_result()
 
         monkeypatch.setattr(runner_module, "run_grid_exploration", fake_grid)
@@ -264,18 +271,64 @@ class TestRunnerCLIFlags:
                 ["grid", "--profile", "micro", "--no-cache", "--cache-dir", str(tmp_path)]
             )
 
-    def test_grid_flags_rejected_for_other_experiments(self):
+    def test_engine_flags_rejected_for_fig1(self):
+        # fig1 stays serial; engine knobs are not part of its subcommand.
         for argv in (
-            ["fig9", "--profile", "micro", "--jobs", "2"],
             ["fig1", "--profile", "micro", "--resume"],
-            ["ablation-reset", "--profile", "micro", "--no-cache"],
+            ["fig1", "--profile", "micro", "--jobs", "2"],
+            ["fig1", "--profile", "micro", "--start-method", "spawn"],
         ):
             with pytest.raises(SystemExit):
                 main(argv)
 
+    def test_epsilons_flag_parsed_and_threaded(self, monkeypatch, capsys):
+        captured = {}
+
+        def fake_fig9(profile, verbose=False, epsilons=None, **kwargs):
+            captured["epsilons"] = epsilons
+
+            class Stub:
+                metadata = {}
+
+                def render(self):
+                    return "Figure 9 stub"
+
+                def as_dict(self):
+                    return {}
+
+            return Stub()
+
+        monkeypatch.setattr(runner_module, "run_fig9", fake_fig9)
+        assert main(["fig9", "--profile", "micro", "--epsilons", "0.5,1.0"]) == 0
+        assert captured["epsilons"] == (0.5, 1.0)
+
+    def test_bad_epsilons_rejected(self):
+        for bad in ("abc", "", "-1.0"):
+            with pytest.raises(SystemExit):
+                main(["fig9", "--profile", "micro", "--epsilons", bad])
+
     def test_invalid_jobs_rejected(self):
         with pytest.raises(SystemExit):
             main(["grid", "--profile", "micro", "--jobs", "0"])
+
+    def test_unknown_ablation_factor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "--profile", "micro", "--factor", "banana"])
+
+    def test_help_of_every_subcommand(self, capsys):
+        for argv in (
+            ["--help"],
+            ["fig1", "--help"],
+            ["grid", "--help"],
+            ["fig9", "--help"],
+            ["ablation", "--help"],
+            ["all", "--help"],
+            ["cache", "--help"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 0
+            capsys.readouterr()
 
 
 class TestRunnerAllMode:
@@ -291,16 +344,14 @@ class TestRunnerAllMode:
         monkeypatch.setattr(runner_module, "_run_fig1", make("fig1"))
         monkeypatch.setattr(runner_module, "_run_grid", make("grid"))
         monkeypatch.setattr(runner_module, "_run_fig9", make("fig9"))
-        monkeypatch.setattr(
-            runner_module, "_run_ablation", lambda fn, tag, *a, **k: make(tag)()
-        )
+        monkeypatch.setattr(runner_module, "_run_ablation", make("ablation"))
 
     def test_one_failure_does_not_abort_the_rest(self, monkeypatch, capsys):
         ran: list[str] = []
         self._stub_everything(monkeypatch, ran, boom=("fig1",))
         code = main(["all", "--profile", "micro"])
         assert code == 1
-        assert ran == ["grid", "fig9", "surrogate", "encoding", "reset", "attack"]
+        assert ran == ["grid", "fig9", "ablation"]
         err = capsys.readouterr().err
         assert "[failed] fig1" in err and "fig1 exploded" in err
 
@@ -308,7 +359,7 @@ class TestRunnerAllMode:
         ran: list[str] = []
         self._stub_everything(monkeypatch, ran)
         assert main(["all", "--profile", "micro"]) == 0
-        assert len(ran) == 7
+        assert ran == ["fig1", "grid", "fig9", "ablation"]
 
     def test_single_experiment_failure_still_raises(self, monkeypatch):
         ran: list[str] = []

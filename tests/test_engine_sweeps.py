@@ -1,0 +1,476 @@
+"""Engine-ported fig9/ablation paths: sweep jobs, spawn backend, weight cache.
+
+Everything runs at micro scale (or smaller) so the whole file stays in
+the tens of seconds: spawn-vs-serial equivalence, resume-after-interrupt
+for fig9 and the ablation suite, weight-cache hits on security-only
+re-sweeps (retraining is *forbidden* via a poisoned Trainer), and the
+``cache`` subcommand's stats/inspect/clear/gc actions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine import (
+    ContextSpec,
+    SweepCache,
+    WeightCache,
+    run_sweep_task,
+    run_tasks,
+    sweep_fingerprint,
+    training_fingerprint,
+)
+from repro.experiments import (
+    get_profile,
+    run_ablation_suite,
+    run_fig9,
+    run_grid_exploration,
+)
+from repro.experiments.runner import main
+from repro.experiments.sweeps import (
+    _model_tags,
+    build_ablation_context,
+    build_ablation_tasks,
+    build_fig9_context,
+    build_fig9_tasks,
+)
+from repro.training.trainer import Trainer
+
+
+def _forbid_training(monkeypatch):
+    """Any Train() call after this explodes — proves weight-cache reuse."""
+
+    def boom(self, *args, **kwargs):
+        raise AssertionError("training ran although cached weights exist")
+
+    monkeypatch.setattr(Trainer, "fit", boom)
+
+
+class TestSweepTasks:
+    def test_task_seeds_unique_and_stable(self):
+        profile = get_profile("micro")
+        tasks = build_fig9_tasks(profile)
+        again = build_fig9_tasks(profile)
+        assert tasks == again
+        seeds = [t.train_seed for t in tasks] + [t.attack_seed for t in tasks]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_epsilon_override_keeps_train_seeds(self):
+        # The security-only re-sweep contract: new ε lists address the
+        # same trained weights.
+        profile = get_profile("micro")
+        base = build_fig9_tasks(profile)
+        swept = build_fig9_tasks(profile, epsilons=(0.125, 0.25))
+        assert [t.train_seed for t in base] == [t.train_seed for t in swept]
+        assert swept[0].epsilons == (0.125, 0.25)
+
+    def test_unknown_ablation_factor_rejected(self):
+        profile = get_profile("micro")
+        with pytest.raises(ValueError, match="unknown ablation factors"):
+            build_ablation_tasks(profile, factors=("banana",))
+
+    def test_run_sweep_task_shape(self):
+        profile = get_profile("micro")
+        context = build_ablation_context(profile)
+        task = build_ablation_tasks(profile, factors=("attack",))[0]
+        result = run_sweep_task(context, task)
+        assert set(result.curves) == set(task.attacks)
+        assert 0.0 <= result.clean_accuracy <= 1.0
+        for curve in result.curves.values():
+            assert set(curve) == set(task.epsilons)
+        assert not result.weights_from_cache
+        assert result.elapsed_seconds > 0.0
+
+
+class TestSpawnBackend:
+    def test_spawn_results_identical_to_serial(self):
+        profile = get_profile("micro")
+        context = build_ablation_context(profile)
+        tasks = build_ablation_tasks(profile, factors=("reset",))
+        serial, serial_stats = run_tasks(context, tasks, run_sweep_task)
+        spec = ContextSpec(
+            "repro.experiments.sweeps:build_ablation_context", {"profile": "micro"}
+        )
+        spawned, stats = run_tasks(
+            context,
+            tasks,
+            run_sweep_task,
+            jobs=2,
+            start_method="spawn",
+            context_spec=spec,
+        )
+        assert stats.start_method == "spawn"
+        assert serial_stats.start_method == "serial"
+        assert spawned == serial
+        assert all(w.startswith("SpawnProcess") for w in stats.workers)
+
+    def test_spawn_without_spec_rejected(self):
+        profile = get_profile("micro")
+        context = build_ablation_context(profile)
+        tasks = build_ablation_tasks(profile, factors=("reset",))
+        with pytest.raises(ValueError, match="context_spec"):
+            run_tasks(context, tasks, run_sweep_task, jobs=2, start_method="spawn")
+
+    def test_spawn_without_spec_rejected_even_with_nothing_pending(self):
+        # The programming error must not pass or fail with cache warmth:
+        # even a schedule with no pending work rejects spawn-without-spec.
+        profile = get_profile("micro")
+        context = build_ablation_context(profile)
+        with pytest.raises(ValueError, match="context_spec"):
+            run_tasks(context, [], run_sweep_task, jobs=4, start_method="spawn")
+
+    def test_bad_start_method_rejected(self):
+        profile = get_profile("micro")
+        context = build_ablation_context(profile)
+        tasks = build_ablation_tasks(profile, factors=("reset",))
+        with pytest.raises(ValueError, match="start_method"):
+            run_tasks(context, tasks, run_sweep_task, start_method="threads")
+
+    def test_context_spec_validates_target(self):
+        with pytest.raises(ValueError, match="package.module:function"):
+            ContextSpec("not-a-target").resolve()
+
+
+class TestFig9Engine:
+    def test_parallel_identical_to_serial(self):
+        serial = run_fig9("micro")
+        parallel = run_fig9("micro", jobs=2)
+        assert serial.as_dict()["snn"] == parallel.as_dict()["snn"]
+        assert serial.as_dict()["cnn"] == parallel.as_dict()["cnn"]
+        assert serial.clean_accuracies == parallel.clean_accuracies
+        assert parallel.metadata["engine"]["jobs"] == 2
+
+    def test_resume_after_interrupt(self, tmp_path):
+        first = run_fig9("micro", cache_dir=tmp_path)
+        profile = get_profile("micro")
+        context = build_fig9_context(profile, cache_dir=tmp_path)
+        cache = SweepCache(
+            tmp_path, sweep_fingerprint(context, tags=_model_tags(profile, "fig9"))
+        )
+        tasks = build_fig9_tasks(profile)
+        assert len(cache) == len(tasks)
+        # Simulate an interrupt that lost one checkpoint.
+        cache.path_for(tasks[1]).unlink()
+        resumed = run_fig9("micro", cache_dir=tmp_path, resume=True)
+        engine = resumed.metadata["engine"]
+        assert engine["cached_cells"] == len(tasks) - 1
+        assert engine["computed_cells"] == 1
+        assert resumed.as_dict()["snn"] == first.as_dict()["snn"]
+        assert resumed.as_dict()["cnn"] == first.as_dict()["cnn"]
+
+    def test_security_only_resweep_skips_training(self, tmp_path, monkeypatch):
+        baseline = run_fig9("micro", cache_dir=tmp_path)
+        _forbid_training(monkeypatch)
+        resweep = run_fig9(
+            "micro", cache_dir=tmp_path, resume=True, epsilons=(0.0, 0.5)
+        )
+        assert resweep.epsilons == (0.0, 0.5)
+        assert resweep.metadata["weights_reused"] == 3
+        assert resweep.metadata["engine"]["computed_cells"] == 3
+        # Clean accuracies come from the archives, not from retraining.
+        assert resweep.clean_accuracies == baseline.clean_accuracies
+
+    def test_resume_without_cache_dir_rejected(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            run_fig9("micro", resume=True)
+
+    def test_result_cache_pins_model_identity(self, tmp_path):
+        # Same datasets + training but a different model registry name
+        # must not hit the other model's sweep checkpoints.
+        import dataclasses
+
+        profile = get_profile("micro")
+        other = dataclasses.replace(profile, snn_model="snn_cnn5")
+        context = build_fig9_context(profile)
+        fp_a = sweep_fingerprint(context, tags=_model_tags(profile, "fig9"))
+        fp_b = sweep_fingerprint(context, tags=_model_tags(other, "fig9"))
+        assert fp_a != fp_b
+        # ...and run_fig9 really keys its checkpoints with the model tags.
+        run_fig9("micro", cache_dir=tmp_path)
+        assert len(SweepCache(tmp_path, fp_a)) == 3
+        assert len(SweepCache(tmp_path, fp_b)) == 0
+
+    def test_weights_reused_counts_this_run_only(self, tmp_path):
+        run_fig9("micro", cache_dir=tmp_path)
+        resweep = run_fig9(
+            "micro", cache_dir=tmp_path, resume=True, epsilons=(0.0, 0.5)
+        )
+        assert resweep.metadata["weights_reused"] == 3
+        # Same epsilons again: everything comes from the result cache, so
+        # no weight-cache hit happened *this* run despite the persisted
+        # weights_from_cache flags inside the checkpoints.
+        replay = run_fig9(
+            "micro", cache_dir=tmp_path, resume=True, epsilons=(0.0, 0.5)
+        )
+        assert replay.metadata["engine"]["cached_cells"] == 3
+        assert replay.metadata["weights_reused"] == 0
+
+
+class TestAblationEngine:
+    def test_parallel_identical_to_serial(self):
+        serial = run_ablation_suite("micro", factors=("reset", "attack"))
+        parallel = run_ablation_suite("micro", factors=("reset", "attack"), jobs=2)
+        for factor in ("reset", "attack"):
+            assert serial[factor].variants == parallel[factor].variants
+            assert serial[factor].clean_accuracies == parallel[factor].clean_accuracies
+
+    def test_resume_after_interrupt(self, tmp_path):
+        factors = ("reset",)
+        first = run_ablation_suite("micro", factors=factors, cache_dir=tmp_path)
+        profile = get_profile("micro")
+        context = build_ablation_context(profile, cache_dir=tmp_path)
+        cache = SweepCache(
+            tmp_path, sweep_fingerprint(context, tags=_model_tags(profile, "ablation"))
+        )
+        tasks = build_ablation_tasks(profile, factors=factors)
+        cache.path_for(tasks[0]).unlink()
+        resumed = run_ablation_suite(
+            "micro", factors=factors, cache_dir=tmp_path, resume=True
+        )
+        engine = resumed["reset"].metadata["engine"]
+        assert engine["cached_cells"] == len(tasks) - 1
+        assert engine["computed_cells"] == 1
+        assert resumed["reset"].variants == first["reset"].variants
+
+    def test_repeated_factors_deduplicated(self):
+        suite = run_ablation_suite("micro", factors=("reset", "reset"))
+        assert set(suite) == {"reset"}
+        # Two variants, not four: the duplicate factor scheduled nothing.
+        assert suite["reset"].metadata["engine"]["total_cells"] == 2
+
+    def test_poisson_resweep_equals_fresh_run(self, tmp_path, monkeypatch):
+        # The stateful Poisson encoder is reseeded before every sweep, so
+        # a weight-cached re-sweep must reproduce the fresh run exactly.
+        first = run_ablation_suite("micro", factors=("encoding",), cache_dir=tmp_path)
+        for checkpoint in tmp_path.glob("sweep_*.json"):
+            checkpoint.unlink()
+        _forbid_training(monkeypatch)
+        resumed = run_ablation_suite(
+            "micro", factors=("encoding",), cache_dir=tmp_path, resume=True
+        )
+        assert resumed["encoding"].metadata["weights_reused"] == 2
+        assert resumed["encoding"].variants == first["encoding"].variants
+        assert resumed["encoding"].clean_accuracies == first["encoding"].clean_accuracies
+
+    def test_security_only_resweep_skips_training(self, tmp_path, monkeypatch):
+        run_ablation_suite("micro", factors=("attack",), cache_dir=tmp_path)
+        _forbid_training(monkeypatch)
+        resweep = run_ablation_suite(
+            "micro",
+            factors=("attack",),
+            cache_dir=tmp_path,
+            resume=True,
+            epsilons=(0.25,),
+        )["attack"]
+        assert resweep.epsilons == (0.25,)
+        assert resweep.metadata["weights_reused"] == 1
+        assert set(resweep.variants) == {
+            "pgd", "bim", "fgsm", "sign_noise", "uniform_noise"
+        }
+
+
+class TestGridWeightCache:
+    def test_resume_from_weights_after_losing_checkpoints(
+        self, tmp_path, monkeypatch
+    ):
+        first = run_grid_exploration("micro", cache_dir=tmp_path)
+        # Drop the result checkpoints but keep the trained weights: the
+        # resumed run must redo the security sweeps without retraining.
+        removed = [p for p in tmp_path.glob("cell_*.json")]
+        assert removed
+        for path in removed:
+            path.unlink()
+        assert list(tmp_path.glob("weights_*.npz"))
+        _forbid_training(monkeypatch)
+        resumed = run_grid_exploration("micro", cache_dir=tmp_path, resume=True)
+        engine = resumed.metadata["engine"]
+        assert engine["cached_cells"] == 0
+        assert engine["computed_cells"] == len(first.cells)
+        for cell, fresh in zip(first.cells, resumed.cells):
+            assert cell.clean_accuracy == fresh.clean_accuracy
+            assert cell.robustness == fresh.robustness
+
+
+class TestWeightCacheUnit:
+    def test_roundtrip_and_metadata(self, tmp_path):
+        import numpy as np
+
+        cache = WeightCache(tmp_path, "f" * 64)
+        state = {"lin.weight": np.arange(6, dtype=np.float32).reshape(2, 3)}
+        cache.put("variant", 7, state, {"clean_accuracy": 0.5})
+        loaded = cache.get("variant", 7)
+        assert loaded is not None
+        arrays, metadata = loaded
+        np.testing.assert_array_equal(arrays["lin.weight"], state["lin.weight"])
+        assert metadata["clean_accuracy"] == 0.5
+        assert metadata["key"] == "variant"
+        assert cache.get("variant", 8) is None
+        assert len(cache) == 1
+        assert cache.clear() == 1
+
+    def test_metadata_must_record_clean_accuracy(self, tmp_path):
+        import numpy as np
+
+        cache = WeightCache(tmp_path, "f" * 64)
+        with pytest.raises(ValueError, match="clean_accuracy"):
+            cache.put("variant", 7, {"w": np.ones(1)}, {})
+
+    def test_corrupt_archive_is_a_miss(self, tmp_path):
+        import numpy as np
+
+        cache = WeightCache(tmp_path, "f" * 64)
+        path = cache.put("variant", 7, {"w": np.ones(1)}, {"clean_accuracy": 1.0})
+        path.write_bytes(b"not a zip archive")
+        assert cache.get("variant", 7) is None
+
+    def test_training_fingerprint_ignores_attack_settings(self):
+        profile = get_profile("micro")
+        context_a = build_fig9_context(profile)
+        fp = training_fingerprint(
+            context_a.train_set, context_a.training, eval_sets=(context_a.clean_eval_set,)
+        )
+        again = training_fingerprint(
+            context_a.train_set, context_a.training, eval_sets=(context_a.clean_eval_set,)
+        )
+        assert fp == again
+        tagged = training_fingerprint(
+            context_a.train_set,
+            context_a.training,
+            eval_sets=(context_a.clean_eval_set,),
+            tags={"experiment": "other"},
+        )
+        assert tagged != fp
+
+
+class TestCacheFailureTolerance:
+    def test_unwritable_weight_cache_does_not_abort_the_run(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        import logging
+
+        from repro.engine.cache import WeightCache
+
+        def refuse(self, *args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(WeightCache, "put", refuse)
+        with caplog.at_level(logging.WARNING, logger="repro.engine"):
+            result = run_fig9("micro", cache_dir=tmp_path)
+        assert result.metadata["engine"]["computed_cells"] == 3
+        assert any("weight archiving failed" in r.message for r in caplog.records)
+
+    def test_orphaned_temp_files_uncounted_but_prunable(self, tmp_path):
+        from repro.engine.cache import cache_stats, clear_cache_dir, gc_cache_dir
+
+        # A run killed between write and rename leaves temp files behind.
+        # Stats must not count an archive mid-write, but the pruning
+        # commands must sweep strays or they accumulate forever.
+        npz_orphan = tmp_path / (".weights_" + "a" * 12 + "_deadbeef.1234.tmp.npz")
+        npz_orphan.write_bytes(b"partial archive")
+        json_orphan = tmp_path / ("cell_" + "b" * 12 + "_deadbeef.json.1234.tmp")
+        json_orphan.write_text("{partial")
+        unrelated = tmp_path / "notes.txt"
+        unrelated.write_text("keep me")
+        assert cache_stats(tmp_path)["entries"] == 0
+        # gc with an age bound skips fresh (possibly in-flight) temps...
+        assert gc_cache_dir(tmp_path, max_age_seconds=3600) == 0
+        os.utime(npz_orphan, (1_000_000, 1_000_000))
+        assert gc_cache_dir(tmp_path, max_age_seconds=3600) == 1
+        assert not npz_orphan.exists()
+        # ...while clear sweeps the rest unconditionally.
+        assert clear_cache_dir(tmp_path) == 1
+        assert not json_orphan.exists()
+        assert unrelated.exists()
+
+
+class TestCacheCLI:
+    @pytest.fixture()
+    def warm_cache(self, tmp_path):
+        run_fig9("micro", cache_dir=tmp_path)
+        return tmp_path
+
+    def _stats(self, capsys, directory) -> dict:
+        assert main(["cache", "stats", "--cache-dir", str(directory), "--json"]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_stats_reports_sweeps_and_weights(self, warm_cache, capsys):
+        stats = self._stats(capsys, warm_cache)
+        assert stats["entries"] == 6
+        assert stats["by_kind"]["sweep"]["entries"] == 3
+        assert stats["by_kind"]["weights"]["entries"] == 3
+        assert stats["total_bytes"] > 0
+
+    def test_inspect_lists_entries(self, warm_cache, capsys):
+        assert main(
+            ["cache", "inspect", "--cache-dir", str(warm_cache), "--json"]
+        ) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 6
+        assert {e["kind"] for e in entries} == {"sweep", "weights"}
+
+    def test_clear_removes_everything(self, warm_cache, capsys):
+        assert main(["cache", "clear", "--cache-dir", str(warm_cache)]) == 0
+        capsys.readouterr()
+        assert self._stats(capsys, warm_cache)["entries"] == 0
+
+    def test_stats_fingerprint_filter_scopes_totals(self, warm_cache, capsys):
+        full = self._stats(capsys, warm_cache)
+        fingerprint = sorted(full["by_fingerprint"])[0]
+        assert main(
+            ["cache", "stats", "--cache-dir", str(warm_cache),
+             "--fingerprint", fingerprint, "--json"]
+        ) == 0
+        scoped = json.loads(capsys.readouterr().out)
+        # Headline totals cover only the selected fingerprint's entries.
+        assert scoped["entries"] == 3
+        assert scoped["total_bytes"] < full["total_bytes"]
+        assert list(scoped["by_fingerprint"]) == [fingerprint]
+        assert len(scoped["by_kind"]) == 1
+
+    def test_clear_by_fingerprint_is_scoped(self, warm_cache, capsys):
+        stats = self._stats(capsys, warm_cache)
+        fingerprint = sorted(stats["by_fingerprint"])[0]
+        assert main(
+            ["cache", "clear", "--cache-dir", str(warm_cache),
+             "--fingerprint", fingerprint]
+        ) == 0
+        capsys.readouterr()
+        remaining = self._stats(capsys, warm_cache)
+        assert remaining["entries"] == 3
+        assert fingerprint not in remaining["by_fingerprint"]
+
+    def test_gc_by_age(self, warm_cache, capsys):
+        # Backdate half the entries far into the past; gc must take only those.
+        entries = sorted(warm_cache.iterdir())
+        old = entries[: len(entries) // 2]
+        for path in old:
+            os.utime(path, (1_000_000, 1_000_000))
+        assert main(
+            ["cache", "gc", "--cache-dir", str(warm_cache), "--max-age-days", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"removed {len(old)}" in out
+        assert self._stats(capsys, warm_cache)["entries"] == 6 - len(old)
+
+    def test_gc_without_criteria_fails(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+        assert "max-age-days" in capsys.readouterr().err
+
+    def test_max_age_rejected_outside_gc(self, warm_cache, capsys):
+        # Silently ignoring an age bound would mislead on stats/inspect
+        # and delete everything on clear; the user meant `gc`.
+        for action in ("stats", "inspect", "clear"):
+            code = main(
+                ["cache", action, "--cache-dir", str(warm_cache),
+                 "--max-age-days", "7"]
+            )
+            assert code == 2
+            assert "cache gc" in capsys.readouterr().err
+        assert self._stats(capsys, warm_cache)["entries"] == 6
+
+    def test_stats_on_missing_directory(self, tmp_path, capsys):
+        stats = self._stats(capsys, tmp_path / "nope")
+        assert stats["entries"] == 0
