@@ -68,10 +68,29 @@ def test_snn_forward_nograd(benchmark):
     """Fused no-grad inference path — compare against ``test_snn_forward``.
 
     Same model, same input, same (bitwise) logits; the only difference is
-    the fused numpy time loop that skips graph construction and
-    surrogate-derivative evaluation.
+    the fused numpy time loop (with compiled synapse plans) that skips
+    graph construction and surrogate-derivative evaluation.
     """
     model = build_model("snn_lenet_mini", input_size=16, time_steps=16, rng=0)
+    x = Tensor(RNG.random((8, 1, 16, 16)).astype(np.float32))
+
+    def run():
+        with no_grad():
+            model(x)
+
+    benchmark(run)
+
+
+def test_snn_forward_nograd_unplanned(benchmark):
+    """Fused loop with synapse plans disabled (the PR-1 baseline).
+
+    Identical logits to ``test_snn_forward_nograd``; the delta between
+    the two is exactly what the compiled numpy synapse plans buy — the
+    per-time-step Tensor construction, ``np.pad`` and im2col shape
+    analysis of every synaptic transform.
+    """
+    model = build_model("snn_lenet_mini", input_size=16, time_steps=16, rng=0)
+    model.use_synapse_plans = False
     x = Tensor(RNG.random((8, 1, 16, 16)).astype(np.float32))
 
     def run():
@@ -141,3 +160,49 @@ def test_engine_grid_serial(benchmark):
 def test_engine_grid_parallel(benchmark):
     explorer = _tiny_grid_explorer()
     benchmark(lambda: explorer.run(jobs=2))
+
+
+# -- epsilon-shared attack sweeps ---------------------------------------------
+#
+# One trained-variant robustness curve is K attacks at K budgets; the
+# sweep evaluator shares the ε-independent work (clean predictions, the
+# single-step white-box gradient, fused adversarial prediction).  The
+# per-ε loop below is the pre-sweep baseline — same numbers, more passes.
+
+_SWEEP_EPSILONS = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+def _sweep_fixture():
+    from repro.attacks.fgsm import FGSM
+
+    model = build_model("snn_lenet_mini", input_size=16, time_steps=16, rng=0)
+    images = RNG.random((16, 1, 16, 16)).astype(np.float32)
+    labels = (np.arange(16) % 10).astype(np.int64)
+    return model, ArrayDataset(images, labels), lambda eps: FGSM(eps)
+
+
+def test_attack_curve_per_epsilon(benchmark):
+    from repro.attacks.metrics import evaluate_attack
+
+    model, dataset, build = _sweep_fixture()
+
+    def run():
+        return [
+            evaluate_attack(model, build(eps), dataset, batch_size=16)
+            for eps in _SWEEP_EPSILONS
+        ]
+
+    benchmark(run)
+
+
+def test_attack_curve_sweep(benchmark):
+    from repro.attacks.metrics import evaluate_attack_sweep
+
+    model, dataset, build = _sweep_fixture()
+
+    def run():
+        return evaluate_attack_sweep(
+            model, build, _SWEEP_EPSILONS, dataset, batch_size=16
+        )
+
+    benchmark(run)

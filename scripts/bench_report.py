@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Benchmark report for the fused-plan inference and ε-shared attack sweeps.
+
+Measures, on the default spiking LeNet of an experiment profile:
+
+1. **Forward paths** — one no-grad batch forward on the autograd loop,
+   the PR-1 fused loop (per-step Tensor transforms), and the compiled
+   synapse-plan loop, asserting all three produce bitwise-identical
+   logits.
+2. **Robustness curve** — a K-epsilon FGSM curve via the historical
+   per-ε ``evaluate_attack`` loop vs ``evaluate_attack_sweep``, asserting
+   identical results.
+
+Writes the timings and speedup ratios to ``BENCH_pr3.json`` (repo root by
+default).  ``--check-fused`` skips the timing and only runs the smoke
+guard: the profile's default spiking model must take the fused plan path
+end to end (full synapse-plan coverage, fused forward counter advancing)
+— the CI job runs this to catch silent fallback regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.attacks.fgsm import FGSM  # noqa: E402
+from repro.attacks.metrics import (  # noqa: E402
+    evaluate_attack,
+    evaluate_attack_sweep,
+)
+from repro.data.dataset import ArrayDataset  # noqa: E402
+from repro.experiments.profiles import get_profile  # noqa: E402
+from repro.models import build_model  # noqa: E402
+from repro.tensor.tensor import Tensor, no_grad  # noqa: E402
+
+EPSILONS = (0.0, 0.1, 0.25, 0.5, 1.0)
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build(profile, time_steps: int | None = None):
+    return build_model(
+        profile.snn_model,
+        input_size=profile.image_size,
+        time_steps=time_steps or profile.time_steps_default,
+        rng=0,
+    )
+
+
+def check_fused(profile) -> list[str]:
+    """Smoke guard: the profile's default model must use the plan path."""
+    errors: list[str] = []
+    model = _build(profile)
+    planned, total = model.synapse_plan_coverage()
+    if planned != total:
+        errors.append(
+            f"{profile.snn_model}: only {planned}/{total} synaptic transforms "
+            "on the compiled-plan path"
+        )
+    x = Tensor(np.random.default_rng(0).random(
+        (4, 1, profile.image_size, profile.image_size)
+    ).astype(np.float32))
+    with no_grad():
+        model(x)
+    if model.fused_forward_count != 1:
+        errors.append(
+            f"{profile.snn_model}: no-grad forward did not take the fused path "
+            f"(fused_forward_count={model.fused_forward_count})"
+        )
+    return errors
+
+
+def run_benchmarks(profile, time_steps: int, samples: int, repeats: int) -> dict:
+    rng = np.random.default_rng(0)
+    shape = (samples, 1, profile.image_size, profile.image_size)
+    images = rng.random(shape).astype(np.float32)
+    labels = (np.arange(samples) % 10).astype(np.int64)
+    x = Tensor(images)
+    model = _build(profile, time_steps)
+
+    with no_grad():
+        reference = model(x).data
+    model.use_synapse_plans = False
+    with no_grad():
+        unplanned = model(x).data
+    model.use_synapse_plans = True
+    autograd_logits = model(x).data
+    forward_parity = bool(
+        np.array_equal(reference, unplanned)
+        and np.array_equal(reference, autograd_logits)
+    )
+
+    autograd_s = _best_of(repeats, lambda: model(x))
+
+    def fused():
+        with no_grad():
+            model(x)
+
+    planned_s = _best_of(repeats, fused)
+    model.use_synapse_plans = False
+    unplanned_s = _best_of(repeats, fused)
+    model.use_synapse_plans = True
+
+    dataset = ArrayDataset(images, labels)
+
+    def per_epsilon():
+        return [
+            evaluate_attack(model, FGSM(eps), dataset, batch_size=samples)
+            for eps in EPSILONS
+        ]
+
+    def sweep():
+        return evaluate_attack_sweep(
+            model, FGSM, EPSILONS, dataset, batch_size=samples
+        )
+
+    def sweep_fused():
+        return evaluate_attack_sweep(
+            model, FGSM, EPSILONS, dataset, batch_size=samples,
+            fused_batch_size=samples * len(EPSILONS),
+        )
+
+    loop_results = per_epsilon()
+    sweep_results = sweep()
+    fused_results = sweep_fused()
+    curve_parity = all(
+        a == b == c for a, b, c in zip(loop_results, sweep_results, fused_results)
+    )
+    per_epsilon_s = _best_of(max(1, repeats - 1), per_epsilon)
+    sweep_s = _best_of(max(1, repeats - 1), sweep)
+    sweep_fused_s = _best_of(max(1, repeats - 1), sweep_fused)
+
+    planned, total = model.synapse_plan_coverage()
+    return {
+        "profile": profile.name,
+        "model": profile.snn_model,
+        "time_steps": time_steps,
+        "samples": samples,
+        "forward": {
+            "autograd_s": autograd_s,
+            "fused_unplanned_s": unplanned_s,
+            "fused_planned_s": planned_s,
+            "plan_speedup_vs_unplanned": unplanned_s / planned_s,
+            "fused_speedup_vs_autograd": autograd_s / planned_s,
+        },
+        "fgsm_curve": {
+            "epsilons": list(EPSILONS),
+            "per_epsilon_s": per_epsilon_s,
+            "sweep_s": sweep_s,
+            "sweep_fused_stack_s": sweep_fused_s,
+            "speedup": per_epsilon_s / sweep_s,
+        },
+        "fused_plan_coverage": {"planned": planned, "total": total},
+        "parity": {
+            "forward_bitwise_identical": forward_parity,
+            "curve_results_identical": curve_parity,
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="smoke", help="experiment profile")
+    parser.add_argument(
+        "--out", default=str(ROOT / "BENCH_pr3.json"), help="report destination"
+    )
+    parser.add_argument(
+        "--time-steps", type=int, default=16, help="time window of the bench model"
+    )
+    parser.add_argument(
+        "--samples", type=int, default=32, help="images per bench batch/curve"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--check-fused",
+        action="store_true",
+        help="only assert the fused plan path is taken (CI smoke guard)",
+    )
+    args = parser.parse_args()
+    profile = get_profile(args.profile)
+
+    errors = check_fused(profile)
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"fused plan path ok for profile {profile.name!r} ({profile.snn_model})")
+    if args.check_fused:
+        return 0
+
+    report = run_benchmarks(profile, args.time_steps, args.samples, args.repeats)
+    if not all(report["parity"].values()):
+        print(f"FAIL: parity violated: {report['parity']}", file=sys.stderr)
+        return 1
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    forward = report["forward"]
+    curve = report["fgsm_curve"]
+    print(
+        f"forward: autograd {forward['autograd_s']:.3f}s, "
+        f"fused(PR1) {forward['fused_unplanned_s']:.3f}s, "
+        f"fused+plans {forward['fused_planned_s']:.3f}s "
+        f"({forward['plan_speedup_vs_unplanned']:.2f}x vs PR1 fused)"
+    )
+    print(
+        f"fgsm curve (K={len(EPSILONS)}): per-epsilon {curve['per_epsilon_s']:.3f}s, "
+        f"sweep {curve['sweep_s']:.3f}s ({curve['speedup']:.2f}x)"
+    )
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

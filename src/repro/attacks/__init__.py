@@ -12,11 +12,17 @@ Images are assumed to live in ``[0, 1]``; every attack clips its output
 back into that box.
 """
 
-from repro.attacks.base import Attack, input_gradient, predict_batched
+from repro.attacks.base import (
+    Attack,
+    input_gradient,
+    predict_batched,
+    shares_clean_gradient,
+)
 from repro.attacks.fgsm import BIM, FGSM
 from repro.attacks.metrics import (
     AttackEvaluation,
     evaluate_attack,
+    evaluate_attack_sweep,
     evaluate_clean_accuracy,
     perturbation_norms,
 )
@@ -35,9 +41,11 @@ __all__ = [
     "TransferEvaluation",
     "UniformNoise",
     "evaluate_attack",
+    "evaluate_attack_sweep",
     "evaluate_clean_accuracy",
     "evaluate_transfer_attack",
     "input_gradient",
     "perturbation_norms",
     "predict_batched",
+    "shares_clean_gradient",
 ]

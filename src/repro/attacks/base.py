@@ -7,8 +7,9 @@ import numpy as np
 from repro.nn.module import Module
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.dispatch import has_trusted_twin
 
-__all__ = ["Attack", "input_gradient", "predict_batched"]
+__all__ = ["Attack", "input_gradient", "predict_batched", "shares_clean_gradient"]
 
 
 def input_gradient(model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
@@ -106,6 +107,36 @@ class Attack:
     def _perturb(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    # -- epsilon-sweep sharing -------------------------------------------------
+
+    @property
+    def reuses_clean_gradient(self) -> bool:
+        """Whether this attack can consume a precomputed clean-input gradient.
+
+        The loss gradient at the *clean* input does not depend on ε, so a
+        K-point sweep can compute it once and hand it to every budget via
+        :meth:`generate_shared`.  Single-step sign attacks (FGSM) are built
+        entirely from it; iterative attacks starting at the clean input
+        (BIM, PGD without random start) reuse it for their first step.
+        """
+        return False
+
+    def generate_shared(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        clean_gradient: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Craft adversarial examples, optionally reusing ``clean_gradient``.
+
+        The base implementation ignores the gradient and defers to
+        :meth:`generate`, so the default is always correct.  Subclasses
+        that override :meth:`_perturb` must override this too before the
+        sweep machinery will trust it (see :func:`shares_clean_gradient`).
+        """
+        return self.generate(model, images, labels)
+
     # -- helpers ---------------------------------------------------------------
 
     def project(self, reference: np.ndarray, candidate: np.ndarray) -> np.ndarray:
@@ -117,3 +148,22 @@ class Attack:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(epsilon={self.epsilon})"
+
+
+def shares_clean_gradient(attack: Attack) -> bool:
+    """Whether a sweep may feed ``attack`` a shared clean-input gradient.
+
+    Mirrors the fused-inference ``_has_numpy_twin`` contract: the
+    ``generate_shared`` override must be defined at (or below) the class
+    defining ``_perturb`` *and* the class defining ``generate`` — a
+    subclass customising either half of the crafting without updating the
+    shared-gradient path falls back to plain :meth:`Attack.generate`.
+    The attack must additionally declare
+    :attr:`Attack.reuses_clean_gradient` (e.g. PGD opts out when its
+    random start moves the first gradient off the clean input).
+    """
+    return (
+        has_trusted_twin(attack, "_perturb", "generate_shared")
+        and has_trusted_twin(attack, "generate", "generate_shared")
+        and attack.reuses_clean_gradient
+    )

@@ -19,9 +19,35 @@ class FGSM(Attack):
 
     name = "fgsm"
 
-    def _perturb(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
-        gradient = input_gradient(model, images, labels)
+    @property
+    def reuses_clean_gradient(self) -> bool:
+        return self.epsilon > 0
+
+    def apply_gradient(self, images: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """The ε-dependent half of the attack: step along ``sign(gradient)``.
+
+        Factored out of :meth:`_perturb` so an ε sweep can reuse one
+        gradient computation across every budget (the gradient is taken at
+        the clean input, which ε never moves).
+        """
         return images + self._gradient_sign * self.epsilon * np.sign(gradient)
+
+    def _perturb(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return self.apply_gradient(images, input_gradient(model, images, labels))
+
+    def generate_shared(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        clean_gradient: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if clean_gradient is None or self.epsilon == 0.0:
+            return self.generate(model, images, labels)
+        images = np.asarray(images)
+        if len(images) != len(np.asarray(labels)):
+            raise ValueError("images and labels must agree on the batch dimension")
+        return self.project(images, self.apply_gradient(images, clean_gradient))
 
 
 class BIM(Attack):
@@ -49,13 +75,43 @@ class BIM(Attack):
         self.steps = steps
         self.alpha = float(alpha) if alpha is not None else (epsilon / steps if steps else 0.0)
 
-    def _perturb(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    @property
+    def reuses_clean_gradient(self) -> bool:
+        # Every budget starts its first iteration at the clean input, so
+        # the first of `steps` gradients is shared across the whole sweep.
+        return self.epsilon > 0
+
+    def _perturb(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        first_gradient: np.ndarray | None = None,
+    ) -> np.ndarray:
         current = images.copy()
-        for _ in range(self.steps):
-            gradient = input_gradient(model, current, labels)
+        for step in range(self.steps):
+            if step == 0 and first_gradient is not None:
+                gradient = first_gradient
+            else:
+                gradient = input_gradient(model, current, labels)
             current = current + self._gradient_sign * self.alpha * np.sign(gradient)
             current = self.project(images, current)
         return current
+
+    def generate_shared(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        clean_gradient: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if clean_gradient is None or self.epsilon == 0.0:
+            return self.generate(model, images, labels)
+        images = np.asarray(images)
+        if len(images) != len(np.asarray(labels)):
+            raise ValueError("images and labels must agree on the batch dimension")
+        adversarial = self._perturb(model, images, labels, first_gradient=clean_gradient)
+        return self.project(images, adversarial)
 
     def __repr__(self) -> str:
         return f"BIM(epsilon={self.epsilon}, steps={self.steps}, alpha={self.alpha})"

@@ -15,20 +15,30 @@ in paper Figs. 1 and 9 start at the clean accuracy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.base import Attack, predict_batched
+from repro.attacks.base import (
+    Attack,
+    input_gradient,
+    predict_batched,
+    shares_clean_gradient,
+)
 from repro.data.dataset import ArrayDataset
 from repro.nn.module import Module
 
 __all__ = [
     "AttackEvaluation",
     "evaluate_attack",
+    "evaluate_attack_sweep",
     "evaluate_clean_accuracy",
     "perturbation_norms",
 ]
+
+AttackBuilder = Callable[[float], Attack]
+"""``epsilon -> fresh attack`` factory used by the sweep evaluators."""
 
 
 @dataclass(frozen=True)
@@ -89,16 +99,23 @@ def evaluate_attack(
     attack: Attack,
     dataset: ArrayDataset,
     batch_size: int = 32,
+    clean_predictions: np.ndarray | None = None,
 ) -> AttackEvaluation:
     """Run ``attack`` over ``dataset`` and compute robustness metrics.
 
     Adversarial examples are crafted batch-wise (bounding the memory of
     unrolled SNN graphs) in training-independent eval mode.
+
+    ``clean_predictions`` lets callers evaluating the same model on the
+    same dataset repeatedly (e.g. one curve point per ε) pass the model's
+    clean-input predictions instead of recomputing them per call —
+    :func:`evaluate_attack_sweep` does this for whole curves.
     """
     model.eval()
     images, labels = dataset.images, dataset.labels
+    if clean_predictions is None:
+        clean_predictions = predict_batched(model, images, batch_size)
     adv_correct = 0
-    clean_correct = 0
     linf_sum = 0.0
     l2_sum = 0.0
     for start in range(0, len(images), batch_size):
@@ -106,9 +123,7 @@ def evaluate_attack(
         y = labels[start : start + batch_size]
         x_adv = attack.generate(model, x, y)
         adv_pred = predict_batched(model, x_adv, batch_size)
-        clean_pred = predict_batched(model, x, batch_size)
         adv_correct += int((adv_pred == y).sum())
-        clean_correct += int((clean_pred == y).sum())
         linf, l2 = perturbation_norms(x, x_adv)
         linf_sum += linf * len(x)
         l2_sum += l2 * len(x)
@@ -117,8 +132,116 @@ def evaluate_attack(
         attack_name=attack.name,
         epsilon=attack.epsilon,
         num_samples=n,
-        clean_accuracy=clean_correct / n,
+        clean_accuracy=float((clean_predictions == labels).mean()),
         adversarial_accuracy=adv_correct / n,
         mean_linf=linf_sum / n,
         mean_l2=l2_sum / n,
+    )
+
+
+def evaluate_attack_sweep(
+    model: Module,
+    attack_family: AttackBuilder,
+    epsilons: Sequence[float],
+    dataset: ArrayDataset,
+    batch_size: int = 32,
+    fused_batch_size: int | None = None,
+) -> tuple[AttackEvaluation, ...]:
+    """Evaluate one attack family at every ε, sharing ε-independent work.
+
+    Produces results identical to calling :func:`evaluate_attack` once per
+    ``attack_family(epsilon)`` (the parity tests assert exact equality),
+    but restructures the sweep around three observations:
+
+    - clean predictions do not depend on ε — computed once per batch
+      instead of once per ``(batch, ε)``;
+    - the white-box loss gradient at the clean input does not depend on ε
+      — computed once per batch and fed to every budget of attacks that
+      declare the :func:`~repro.attacks.base.shares_clean_gradient`
+      contract (FGSM builds entirely from it; BIM and non-random-start
+      PGD seed their first iteration with it);
+    - per-ε adversarial predictions are independent — the K crafted
+      variants of a batch are stacked and predicted in one no-grad pass
+      (``fused_batch_size`` sets the forward chunk; the default chunks
+      at the crafting batch length, which reproduces the per-ε loop's
+      forward shapes exactly and keeps memory bounded by ``batch_size``;
+      pass ``K * batch_size`` to fuse the whole stack into one forward).
+
+    Parameters
+    ----------
+    model:
+        Trained classifier under attack.
+    attack_family:
+        ``epsilon -> Attack`` factory; called once per ε so stateful
+        attacks (PGD random start, noise draws) are seeded exactly as in
+        the per-ε loop.
+    epsilons:
+        Noise budgets, one sweep point each.
+    dataset:
+        Samples to attack.
+    batch_size:
+        Crafting batch size (bounds the unrolled SNN graph memory).
+    fused_batch_size:
+        Chunk size of the stacked adversarial prediction pass.  ``None``
+        (default) chunks at the crafting batch length — each ε's batch
+        is forwarded in exactly the shape the per-ε loop would use, so
+        equality holds on any platform.  Larger values fuse several ε
+        batches per forward; float results of a fused chunk are only
+        batch-size-invariant if the BLAS in use computes rows
+        independently (true for the library's default stack, and
+        asserted by the parity tests).
+
+    Notes
+    -----
+    Exact equality with the per-ε loop holds for deterministic forward
+    passes (every standard model).  A model whose *forward* itself draws
+    randomness (e.g. a Poisson encoder) consumes its rng stream in a
+    different order here than the historical loop did, so its numbers
+    match only statistically; re-seed such components before the sweep
+    (the engine's ``attack_prep`` hook) for run-to-run reproducibility.
+    """
+    model.eval()
+    attacks = [attack_family(float(epsilon)) for epsilon in epsilons]
+    if not attacks:
+        return ()
+    images, labels = dataset.images, dataset.labels
+    n = len(images)
+    need_gradient = any(shares_clean_gradient(attack) for attack in attacks)
+    clean_correct = 0
+    adv_correct = [0] * len(attacks)
+    linf_sums = [0.0] * len(attacks)
+    l2_sums = [0.0] * len(attacks)
+    for start in range(0, n, batch_size):
+        x = images[start : start + batch_size]
+        y = labels[start : start + batch_size]
+        clean_pred = predict_batched(model, x, batch_size)
+        clean_correct += int((clean_pred == y).sum())
+        gradient = input_gradient(model, x, y) if need_gradient else None
+        adversarial = []
+        for index, attack in enumerate(attacks):
+            if gradient is not None and shares_clean_gradient(attack):
+                x_adv = attack.generate_shared(model, x, y, gradient)
+            else:
+                x_adv = attack.generate(model, x, y)
+            adversarial.append(x_adv)
+            linf, l2 = perturbation_norms(x, x_adv)
+            linf_sums[index] += linf * len(x)
+            l2_sums[index] += l2 * len(x)
+        stacked = np.concatenate(adversarial)
+        predictions = predict_batched(model, stacked, fused_batch_size or len(x))
+        for index in range(len(attacks)):
+            adv_pred = predictions[index * len(x) : (index + 1) * len(x)]
+            adv_correct[index] += int((adv_pred == y).sum())
+    clean_accuracy = clean_correct / n
+    return tuple(
+        AttackEvaluation(
+            attack_name=attack.name,
+            epsilon=attack.epsilon,
+            num_samples=n,
+            clean_accuracy=clean_accuracy,
+            adversarial_accuracy=adv_correct[index] / n,
+            mean_linf=linf_sums[index] / n,
+            mean_l2=l2_sums[index] / n,
+        )
+        for index, attack in enumerate(attacks)
     )

@@ -61,17 +61,48 @@ class PGD(Attack):
         self.random_start = random_start
         self._rng = new_rng(rng)
 
-    def _perturb(self, model: Module, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    @property
+    def reuses_clean_gradient(self) -> bool:
+        # A random start moves the first gradient off the clean input, so
+        # only deterministic PGD can share it across an ε sweep.
+        return self.epsilon > 0 and not self.random_start
+
+    def _perturb(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        first_gradient: np.ndarray | None = None,
+    ) -> np.ndarray:
         if self.random_start:
             noise = self._rng.uniform(-self.epsilon, self.epsilon, size=images.shape)
             current = self.project(images, images + noise.astype(images.dtype))
+            first_gradient = None
         else:
             current = images.copy()
-        for _ in range(self.steps):
-            gradient = input_gradient(model, current, labels)
+        for step in range(self.steps):
+            if step == 0 and first_gradient is not None:
+                gradient = first_gradient
+            else:
+                gradient = input_gradient(model, current, labels)
             current = current + self._gradient_sign * self.alpha * np.sign(gradient)
             current = self.project(images, current)
         return current
+
+    def generate_shared(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        clean_gradient: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if clean_gradient is None or not self.reuses_clean_gradient:
+            return self.generate(model, images, labels)
+        images = np.asarray(images)
+        if len(images) != len(np.asarray(labels)):
+            raise ValueError("images and labels must agree on the batch dimension")
+        adversarial = self._perturb(model, images, labels, first_gradient=clean_gradient)
+        return self.project(images, adversarial)
 
     def __repr__(self) -> str:
         return (

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field, replace
 from multiprocessing import current_process
 from typing import TYPE_CHECKING
 
-from repro.attacks.metrics import evaluate_attack, evaluate_clean_accuracy
+from repro.attacks.metrics import evaluate_attack_sweep, evaluate_clean_accuracy
 from repro.data.dataset import ArrayDataset
 from repro.nn.module import Module
 from repro.robustness.config import make_attack
@@ -275,21 +275,30 @@ def run_sweep_task(context: SweepJobContext, task: SweepTask) -> SweepResult:
         context.attack_prep(model, task)
     curves: dict[str, dict[float, float]] = {}
     for attack_name in task.attacks:
-        per_epsilon: dict[float, float] = {}
-        for epsilon in task.epsilons:
-            attack = make_attack(
-                attack_name,
+        # One ε-shared sweep per family: clean predictions and (for
+        # single-step attacks) the white-box gradient are computed once
+        # and reused at every budget — identical numbers, fewer passes.
+        def build_attack(epsilon: float, name: str = attack_name):
+            return make_attack(
+                name,
                 epsilon,
                 steps=context.attack_steps,
                 seed=task.attack_seed,
                 clip_min=context.clip_min,
                 clip_max=context.clip_max,
             )
-            evaluation = evaluate_attack(
-                model, attack, context.attack_set, batch_size=context.attack_batch_size
-            )
-            per_epsilon[float(epsilon)] = evaluation.robustness
-        curves[attack_name] = per_epsilon
+
+        evaluations = evaluate_attack_sweep(
+            model,
+            build_attack,
+            task.epsilons,
+            context.attack_set,
+            batch_size=context.attack_batch_size,
+        )
+        curves[attack_name] = {
+            float(epsilon): evaluation.robustness
+            for epsilon, evaluation in zip(task.epsilons, evaluations)
+        }
     return SweepResult(
         key=task.key,
         clean_accuracy=clean_accuracy,

@@ -71,3 +71,15 @@ class Sequential(Module):
         for layer in self.layers:
             x = layer(x)
         return x
+
+    def forward_numpy(self, x):
+        """Graph-free twin of :meth:`forward`: chain the members' twins.
+
+        Callers must establish that every member has a trusted
+        ``forward_numpy`` first (the fused SNN path checks recursively via
+        its ``_has_numpy_twin`` contract); an untrusted member means this
+        raises or, worse, silently diverges from the Tensor path.
+        """
+        for layer in self.layers:
+            x = layer.forward_numpy(x)
+        return x

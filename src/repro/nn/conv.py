@@ -61,10 +61,29 @@ class Conv2d(Module):
             )
         else:
             self.bias = None
+        self._plans: dict[tuple, F.Conv2dPlan] = {}
 
     def forward(self, x: Tensor) -> Tensor:
         x = self._as_tensor(x)
         return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free twin of :meth:`forward` on raw arrays.
+
+        Backed by a :class:`~repro.tensor.functional.Conv2dPlan` compiled
+        once per ``(shape, dtype)`` — bitwise-identical output, no Tensor
+        or autograd overhead.  Weights are read at call time, so training
+        or ``load_state_dict`` never invalidates a plan.
+        """
+        key = (x.shape, x.dtype.str)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = F.Conv2dPlan(
+                x.shape, x.dtype, self.weight.shape, self.stride, self.padding
+            )
+            self._plans[key] = plan
+        bias = self.bias.data if self.bias is not None else None
+        return plan(x, self.weight.data, bias)
 
     def __repr__(self) -> str:
         return (

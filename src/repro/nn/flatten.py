@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.nn.module import Module
 from repro.tensor.tensor import Tensor
 
@@ -15,6 +17,10 @@ class Flatten(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self._as_tensor(x).flatten(self.start_dim)
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free twin of :meth:`forward` (may return a view of ``x``)."""
+        return x.reshape(x.shape[: self.start_dim] + (-1,))
 
     def __repr__(self) -> str:
         return f"Flatten(start_dim={self.start_dim})"

@@ -51,6 +51,7 @@ class Linear(Module):
             )
         else:
             self.bias = None
+        self._checked_shapes: set[tuple[int, ...]] = set()
 
     def forward(self, x: Tensor) -> Tensor:
         x = self._as_tensor(x)
@@ -62,6 +63,26 @@ class Linear(Module):
         out = x @ self.weight.transpose()
         if self.bias is not None:
             out = out + self.bias
+        return out
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free twin of :meth:`forward` on raw arrays.
+
+        The affine map needs no precomputed plan (the transposed weight is
+        a view), so this only skips the shape check after the first call
+        per input shape and the Tensor machinery — output stays bitwise
+        identical to the autograd path.
+        """
+        if x.shape not in self._checked_shapes:
+            if x.ndim != 2 or x.shape[1] != self.in_features:
+                raise ShapeError(
+                    f"Linear({self.in_features}->{self.out_features}) got input "
+                    f"shape {x.shape}"
+                )
+            self._checked_shapes.add(x.shape)
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
         return out
 
     def __repr__(self) -> str:

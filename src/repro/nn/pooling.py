@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.nn.module import Module
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
@@ -18,9 +20,18 @@ class MaxPool2d(Module):
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride
+        self._plans: dict[tuple[int, ...], F.MaxPool2dPlan] = {}
 
     def forward(self, x: Tensor) -> Tensor:
         return F.max_pool2d(self._as_tensor(x), self.kernel_size, self.stride)
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free twin of :meth:`forward` on raw arrays (plan-cached)."""
+        plan = self._plans.get(x.shape)
+        if plan is None:
+            plan = F.MaxPool2dPlan(x.shape, self.kernel_size, self.stride)
+            self._plans[x.shape] = plan
+        return plan(x)
 
     def __repr__(self) -> str:
         return f"MaxPool2d(kernel={self.kernel_size}, stride={self.stride})"
@@ -37,9 +48,18 @@ class AvgPool2d(Module):
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride
+        self._plans: dict[tuple[int, ...], F.AvgPool2dPlan] = {}
 
     def forward(self, x: Tensor) -> Tensor:
         return F.avg_pool2d(self._as_tensor(x), self.kernel_size, self.stride)
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free twin of :meth:`forward` on raw arrays (plan-cached)."""
+        plan = self._plans.get(x.shape)
+        if plan is None:
+            plan = F.AvgPool2dPlan(x.shape, self.kernel_size, self.stride)
+            self._plans[x.shape] = plan
+        return plan(x)
 
     def __repr__(self) -> str:
         return f"AvgPool2d(kernel={self.kernel_size}, stride={self.stride})"

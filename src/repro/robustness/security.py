@@ -11,7 +11,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.attacks.base import Attack
-from repro.attacks.metrics import AttackEvaluation, evaluate_attack
+from repro.attacks.metrics import AttackEvaluation, evaluate_attack_sweep
 from repro.data.dataset import ArrayDataset
 from repro.nn.module import Module
 
@@ -59,11 +59,14 @@ def robustness_curve(
 
     ``attack_builder(eps)`` constructs a fresh attack per budget so
     stateful attacks (PGD random start) stay independent across points.
+    Delegates to :func:`~repro.attacks.metrics.evaluate_attack_sweep`,
+    which shares the ε-independent work (clean predictions, the white-box
+    gradient of single-step attacks, fused adversarial prediction) across
+    the whole curve — results are identical to the per-ε loop.
     """
-    evaluations: list[AttackEvaluation] = []
-    for epsilon in epsilons:
-        attack = attack_builder(float(epsilon))
-        evaluations.append(evaluate_attack(model, attack, dataset, batch_size=batch_size))
+    evaluations = evaluate_attack_sweep(
+        model, attack_builder, epsilons, dataset, batch_size=batch_size
+    )
     return RobustnessCurve(
         label=label,
         epsilons=tuple(float(e) for e in epsilons),

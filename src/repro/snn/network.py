@@ -20,12 +20,13 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.nn.container import ModuleList
+from repro.nn.container import ModuleList, Sequential
 from repro.nn.module import Module
 from repro.snn.decoding import MaxMembraneDecoder
 from repro.snn.encoding import ConstantCurrentLIFEncoder
 from repro.snn.neuron import LICell, LIFCell, LIFParameters
 from repro.tensor.tensor import Tensor, is_grad_enabled
+from repro.utils.dispatch import has_trusted_twin
 
 __all__ = ["SpikingLayer", "SpikingNetwork", "SpikingReadout"]
 
@@ -33,20 +34,27 @@ __all__ = ["SpikingLayer", "SpikingNetwork", "SpikingReadout"]
 def _has_numpy_twin(obj: object, primary: str, twin: str) -> bool:
     """Whether ``obj`` can be trusted on the fused path for ``primary``.
 
-    True iff ``twin`` exists and is defined at (or below) the class in the
-    MRO that defines ``primary`` — a subclass overriding ``primary`` (e.g.
-    custom ``step`` dynamics) without a matching ``twin`` override must
-    fall back to the Tensor path instead of silently inheriting a
-    mismatched numpy implementation.
+    A subclass overriding ``primary`` (e.g. custom ``step`` dynamics)
+    without a matching ``twin`` override must fall back to the Tensor path
+    instead of silently inheriting a mismatched numpy implementation; see
+    :func:`repro.utils.dispatch.has_trusted_twin` for the MRO rule.
     """
-    mro = type(obj).__mro__
-    twin_cls = next((c for c in mro if twin in vars(c)), None)
-    if twin_cls is None:
+    return has_trusted_twin(obj, primary, twin)
+
+
+def _transform_fused_ready(transform: Module) -> bool:
+    """Whether a synaptic transform is trusted on the compiled-plan path.
+
+    Applies the ``_has_numpy_twin`` contract to ``forward``/
+    ``forward_numpy``, recursing into :class:`~repro.nn.container.
+    Sequential` members — a pipeline is only as trustworthy as its least
+    trustworthy stage.
+    """
+    if not _has_numpy_twin(transform, "forward", "forward_numpy"):
         return False
-    primary_cls = next((c for c in mro if primary in vars(c)), None)
-    if primary_cls is None:
-        return True
-    return mro.index(twin_cls) <= mro.index(primary_cls)
+    if isinstance(transform, Sequential):
+        return all(_transform_fused_ready(member) for member in transform)
+    return True
 
 
 class SpikingLayer(Module):
@@ -129,6 +137,13 @@ class SpikingNetwork(Module):
         self.time_steps = int(time_steps)
         self.decoder = decoder or MaxMembraneDecoder()
         self.vary_encoder_threshold = vary_encoder_threshold
+        self.use_synapse_plans = True
+        """Route trusted synaptic transforms through their compiled numpy
+        plans on the fused path (disable to benchmark the per-step Tensor
+        transform baseline; results are bitwise identical either way)."""
+        self.fused_forward_count = 0
+        """Number of forwards served by :meth:`_forward_inference` — the
+        observability hook the fused-path smoke guards assert on."""
 
     # -- structural parameters ------------------------------------------------
 
@@ -208,16 +223,54 @@ class SpikingNetwork(Module):
             return False
         return _has_numpy_twin(self.readout.cell, "step", "step_numpy")
 
+    def _synapse_op(self, transform: Module):
+        """Resolve one transform's fused-path callable (once per forward).
+
+        Trusted transforms run their compiled-plan ``forward_numpy`` twin;
+        anything else falls back to the Tensor API per time step, which
+        records no graph under ``no_grad()`` — identical results, slower.
+        """
+        if self._plan_eligible(transform):
+            return transform.forward_numpy
+
+        def tensor_fallback(array: np.ndarray) -> np.ndarray:
+            return transform(Tensor(array)).data
+
+        return tensor_fallback
+
+    def _plan_eligible(self, transform: Module) -> bool:
+        """The single dispatch predicate of the compiled-plan path.
+
+        Shared by :meth:`_synapse_op` (actual dispatch) and
+        :meth:`synapse_plan_coverage` (the smoke-guard metric) so the
+        reported coverage can never diverge from what the hot loop runs.
+        """
+        return self.use_synapse_plans and _transform_fused_ready(transform)
+
+    def synapse_plan_coverage(self) -> tuple[int, int]:
+        """``(transforms on the plan path, total transforms)`` incl. readout.
+
+        Used by the fused-path smoke guards: the standard registry models
+        must report full coverage, or a refactor silently pushed the hot
+        loop back onto the per-step Tensor path.
+        """
+        transforms = [layer.transform for layer in self.layers]
+        transforms.append(self.readout.transform)
+        planned = sum(1 for transform in transforms if self._plan_eligible(transform))
+        return planned, len(transforms)
+
     def _forward_inference(self, image: np.ndarray) -> Tensor:
         """Fused no-grad time loop over raw numpy arrays.
 
         LIF/LI state updates and the trace decode run directly on arrays
         (skipping surrogate-derivative evaluation and per-op Tensor
-        bookkeeping); synaptic transforms still go through their modules,
-        which record no graph while gradients are disabled.  Encoders or
-        decoders without a trustworthy numpy twin fall back to their
-        Tensor API.
+        bookkeeping).  Synaptic transforms resolve to their compiled
+        numpy plans once per forward — not once per time step — with a
+        per-transform fallback to the Tensor API for stages without a
+        trustworthy twin.  Encoders or decoders without a twin fall back
+        the same way.
         """
+        self.fused_forward_count += 1
         encoder_step = (
             self.encoder.step_numpy
             if _has_numpy_twin(self.encoder, "step", "step_numpy")
@@ -228,6 +281,9 @@ class SpikingNetwork(Module):
             if _has_numpy_twin(self.decoder, "forward", "decode_numpy")
             else None
         )
+        layer_ops = [self._synapse_op(layer.transform) for layer in self.layers]
+        cells = [layer.cell for layer in self.layers]
+        readout_op = self._synapse_op(self.readout.transform)
         encoder_state = None
         layer_states: list = [None] * len(self.layers)
         readout_state = None
@@ -238,14 +294,12 @@ class SpikingNetwork(Module):
             else:
                 out, encoder_state = self.encoder.step(Tensor(image), encoder_state)
                 spikes = out.data
-            for index, layer in enumerate(self.layers):
-                current = layer.transform(Tensor(spikes)).data
-                spikes, layer_states[index] = layer.cell.step_numpy(
-                    current, layer_states[index]
+            for index, op in enumerate(layer_ops):
+                spikes, layer_states[index] = cells[index].step_numpy(
+                    op(spikes), layer_states[index]
                 )
-            current = self.readout.transform(Tensor(spikes)).data
             membrane, readout_state = self.readout.cell.step_numpy(
-                current, readout_state
+                readout_op(spikes), readout_state
             )
             trace.append(membrane)
         if decode is not None:

@@ -21,6 +21,9 @@ from repro.errors import ShapeError
 from repro.tensor.tensor import Tensor, apply_op
 
 __all__ = [
+    "AvgPool2dPlan",
+    "Conv2dPlan",
+    "MaxPool2dPlan",
     "avg_pool2d",
     "conv2d",
     "cross_entropy",
@@ -294,13 +297,21 @@ def max_pool2d(
     out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
 
     def backward(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
-        grad_x = np.zeros_like(x.data)
+        # Scatter-accumulate via a flat bincount: much faster than the
+        # equivalent np.add.at on fancy indices.  Overlapping windows can
+        # route several contributions to one pixel; bincount sums them in
+        # float64 before the single cast back to the input dtype.
         ki, kj = np.divmod(arg, kw)  # (N, C, OH, OW) window-local coordinates
-        n_idx, c_idx, oi, oj = np.indices(arg.shape, sparse=False)
-        rows = oi * sh + ki
-        cols = oj * sw + kj
-        np.add.at(grad_x, (n_idx, c_idx, rows, cols), g)
-        return (grad_x,)
+        rows = np.arange(oh).reshape(1, 1, oh, 1) * sh + ki
+        cols = np.arange(ow).reshape(1, 1, 1, ow) * sw + kj
+        plane = (
+            np.arange(n).reshape(n, 1, 1, 1) * c + np.arange(c).reshape(1, c, 1, 1)
+        ) * (h * w)
+        flat = plane + rows * w + cols
+        grad_x = np.bincount(
+            flat.ravel(), weights=g.ravel(), minlength=n * c * h * w
+        )
+        return (grad_x.reshape(n, c, h, w).astype(x.dtype, copy=False),)
 
     return apply_op(np.ascontiguousarray(out_data), (x,), backward, "max_pool2d")
 
@@ -332,3 +343,150 @@ def avg_pool2d(
         return (grad_x,)
 
     return apply_op(np.ascontiguousarray(out_data), (x,), backward, "avg_pool2d")
+
+
+# --------------------------------------------------------------------------
+# Compiled synapse plans (graph-free forward twins)
+# --------------------------------------------------------------------------
+#
+# A *plan* freezes everything about conv2d/pooling that depends only on the
+# input shape — output geometry, im2col window views, padded and column
+# scratch buffers — so the fused SNN inference loop pays the shape analysis
+# once instead of at every one of T time steps.  Plans perform the exact
+# float operations (same order, same promotions) as the Tensor ops above,
+# so their outputs stay bitwise identical to the autograd path; parity is
+# enforced by tests/test_fused_plans.py.
+#
+# Plans return freshly allocated outputs (safe to retain), but their
+# internal scratch buffers are reused across calls — one plan instance must
+# not be shared between concurrently running forwards.
+
+
+class Conv2dPlan:
+    """im2col geometry + scratch buffers for one (input shape, conv spec).
+
+    ``__call__(x, weight, bias)`` computes the same cross-correlation as
+    :func:`conv2d`'s forward, skipping Tensor construction, the backward
+    closure, and the per-call ``np.pad``/column allocations.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        weight_shape: tuple[int, ...],
+        stride: int | tuple[int, int],
+        padding: int | tuple[int, int],
+    ) -> None:
+        if len(shape) != 4:
+            raise ShapeError(f"conv2d expects (N, C, H, W) input, got {shape}")
+        if shape[1] != weight_shape[1]:
+            raise ShapeError(
+                f"input channels {shape[1]} do not match weight channels {weight_shape[1]}"
+            )
+        self.shape = shape
+        n, c_in, h, w = shape
+        _c_out, _, kh, kw = weight_shape
+        self.sh, self.sw = _pair(stride)
+        self.ph, self.pw = _pair(padding)
+        self.kh, self.kw = kh, kw
+        self.oh = _conv_output_size(h, kh, self.sh, self.ph)
+        self.ow = _conv_output_size(w, kw, self.sw, self.pw)
+        if self.ph or self.pw:
+            self._padded = np.zeros(
+                (n, c_in, h + 2 * self.ph, w + 2 * self.pw), dtype=dtype
+            )
+        else:
+            self._padded = None
+        # Column scratch: written as (N, OH, OW, C, kh, kw), fed to the
+        # matmul as its flat (N*OH*OW, C*kh*kw) alias.
+        self._cols6d = np.empty(
+            (n, self.oh, self.ow, c_in, kh, kw), dtype=dtype
+        )
+        self._cols = self._cols6d.reshape(n * self.oh * self.ow, c_in * kh * kw)
+
+    def __call__(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None
+    ) -> np.ndarray:
+        n, _c_in, h, w = self.shape
+        if self._padded is None:
+            padded = x
+        else:
+            self._padded[:, :, self.ph : self.ph + h, self.pw : self.pw + w] = x
+            padded = self._padded
+        windows = _strided_windows(padded, self.kh, self.kw, self.sh, self.sw)
+        self._cols6d[...] = windows.transpose(0, 2, 3, 1, 4, 5)
+        w_mat = weight.reshape(weight.shape[0], -1)
+        out = self._cols @ w_mat.T
+        if bias is not None:
+            out = out + bias
+        return np.ascontiguousarray(
+            out.reshape(n, self.oh, self.ow, -1).transpose(0, 3, 1, 2)
+        )
+
+
+class _Pool2dPlan:
+    """Shared window geometry of the pooling plans."""
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None,
+    ) -> None:
+        if len(shape) != 4:
+            raise ShapeError(f"pool2d expects (N, C, H, W) input, got {shape}")
+        self.shape = shape
+        self.kh, self.kw = _pair(kernel_size)
+        self.sh, self.sw = (
+            _pair(stride) if stride is not None else (self.kh, self.kw)
+        )
+        self.oh = _conv_output_size(shape[2], self.kh, self.sh, 0)
+        self.ow = _conv_output_size(shape[3], self.kw, self.sw, 0)
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        return _strided_windows(x, self.kh, self.kw, self.sh, self.sw)
+
+
+class MaxPool2dPlan(_Pool2dPlan):
+    """Shape-compiled twin of :func:`max_pool2d`'s forward.
+
+    Computes the window maximum as a pairwise :func:`numpy.maximum` over
+    the ``kh * kw`` strided offset slices — far cheaper than materialising
+    the im2col window copy the argmax-based Tensor op needs for its
+    backward.  The maximum of a window is order-independent, so values
+    match the Tensor path exactly (NaNs propagate identically; only the
+    sign bit of a ±0.0 tie may differ, which value comparisons ignore).
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None,
+    ) -> None:
+        super().__init__(shape, kernel_size, stride)
+        self._slices = [
+            (
+                slice(i, i + self.oh * self.sh, self.sh),
+                slice(j, j + self.ow * self.sw, self.sw),
+            )
+            for i in range(self.kh)
+            for j in range(self.kw)
+        ]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        first, *rest = self._slices
+        if not rest:
+            return np.ascontiguousarray(x[:, :, first[0], first[1]])
+        out = np.maximum(x[:, :, first[0], first[1]], x[:, :, rest[0][0], rest[0][1]])
+        for rows, cols in rest[1:]:
+            np.maximum(out, x[:, :, rows, cols], out=out)
+        return out
+
+
+class AvgPool2dPlan(_Pool2dPlan):
+    """Shape-compiled twin of :func:`avg_pool2d`'s forward."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self._windows(x).mean(axis=(-2, -1))

@@ -1,5 +1,6 @@
-"""Shared utilities: seeding, logging, serialization and timing."""
+"""Shared utilities: seeding, logging, serialization, timing, dispatch."""
 
+from repro.utils.dispatch import has_trusted_twin
 from repro.utils.logging import get_logger
 from repro.utils.seeding import SeedSequence, new_rng, spawn_rngs
 from repro.utils.serialization import load_npz, save_npz
@@ -9,6 +10,7 @@ __all__ = [
     "SeedSequence",
     "Stopwatch",
     "get_logger",
+    "has_trusted_twin",
     "load_npz",
     "new_rng",
     "save_npz",

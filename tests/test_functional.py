@@ -245,3 +245,49 @@ class TestPooling:
         out = F.max_pool2d(x, 2)
         out.backward(np.ones_like(out.data))
         np.testing.assert_array_equal(x.grad[0, 0], [[0, 0], [0, 1]])
+
+    @pytest.mark.parametrize("kernel,stride", [(2, None), (3, 1), (3, 2)])
+    def test_max_pool_backward_matches_add_at_reference(self, rng, kernel, stride):
+        # The bincount-based scatter must accumulate exactly like the
+        # np.add.at formulation it replaced (float64 tensors: both exact).
+        x = make_tensor(rng, 2, 3, 7, 7)
+        out = F.max_pool2d(x, kernel, stride)
+        upstream = rng.standard_normal(out.shape)
+        out.backward(upstream)
+
+        kh = kw = kernel
+        sh = sw = stride if stride is not None else kernel
+        windows = np.lib.stride_tricks.sliding_window_view(
+            x.data, (kh, kw), axis=(2, 3)
+        )[:, :, ::sh, ::sw]
+        n, c, oh, ow = out.shape
+        arg = windows.reshape(n, c, oh, ow, kh * kw).argmax(axis=-1)
+        ki, kj = np.divmod(arg, kw)
+        n_idx, c_idx, oi, oj = np.indices(arg.shape)
+        reference = np.zeros_like(x.data)
+        np.add.at(
+            reference,
+            (n_idx, c_idx, oi * sh + ki, oj * sw + kj),
+            upstream.astype(x.data.dtype),
+        )
+        np.testing.assert_array_equal(x.grad, reference)
+
+    def test_max_pool_backward_float32_non_overlapping_exact(self, rng):
+        # Non-overlapping pooling (the registry models' configuration)
+        # routes at most one contribution per pixel, so the float64
+        # bincount accumulation must be exact even in float32 — attack
+        # gradients of the standard models stay bit-identical.
+        x = Tensor(
+            rng.standard_normal((2, 3, 8, 8)).astype(np.float32), requires_grad=True
+        )
+        out = F.max_pool2d(x, 2)
+        upstream = rng.standard_normal(out.shape).astype(np.float32)
+        out.backward(upstream)
+        assert x.grad.dtype == np.float32
+        expected = np.zeros_like(x.data)
+        flat = x.data.reshape(2, 3, 4, 2, 4, 2).transpose(0, 1, 2, 4, 3, 5)
+        arg = flat.reshape(2, 3, 4, 4, 4).argmax(axis=-1)
+        ki, kj = np.divmod(arg, 2)
+        n_idx, c_idx, oi, oj = np.indices(arg.shape)
+        expected[n_idx, c_idx, oi * 2 + ki, oj * 2 + kj] = upstream
+        np.testing.assert_array_equal(x.grad, expected)
