@@ -16,12 +16,21 @@ default).  ``--check-fused`` skips the timing and only runs the smoke
 guard: the profile's default spiking model must take the fused plan path
 end to end (full synapse-plan coverage, fused forward counter advancing)
 — the CI job runs this to catch silent fallback regressions.
+
+``--check-regression`` measures fresh and compares the *speedup ratios*
+against the committed baseline report: the planned-fused forward and the
+K-epsilon FGSM sweep must each retain their advantage to within
+``--tolerance`` (default 25 %).  Ratios — not absolute seconds — are
+compared, so the guard is meaningful on CI hardware that is nothing like
+the machine that wrote the baseline.  Shared runners with noisy
+neighbours can opt out by setting ``REPRO_BENCH_SKIP=1``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -173,6 +182,54 @@ def run_benchmarks(profile, time_steps: int, samples: int, repeats: int) -> dict
     }
 
 
+def check_regression(report: dict, baseline_path: Path, tolerance: float) -> list[str]:
+    """Compare this run's speedup ratios against the committed baseline.
+
+    A ratio may drift with load, so only a drop beyond ``tolerance``
+    (relative) fails; improvements always pass.  Absolute timings are
+    deliberately ignored — they compare this machine to the baseline
+    machine, which is noise, not signal.
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as error:
+        return [f"cannot read baseline {baseline_path}: {error}"]
+    checks = (
+        (
+            "planned-fused forward speedup vs PR1 fused loop",
+            ("forward", "plan_speedup_vs_unplanned"),
+        ),
+        (
+            "fused forward speedup vs autograd",
+            ("forward", "fused_speedup_vs_autograd"),
+        ),
+        (
+            f"K={len(EPSILONS)} FGSM sweep speedup vs per-epsilon loop",
+            ("fgsm_curve", "speedup"),
+        ),
+    )
+    errors: list[str] = []
+    for label, (section, key) in checks:
+        expected = baseline.get(section, {}).get(key)
+        if expected is None:
+            errors.append(f"baseline {baseline_path} lacks {section}.{key}")
+            continue
+        measured = report[section][key]
+        floor = expected * (1.0 - tolerance)
+        if measured < floor:
+            errors.append(
+                f"{label} regressed: {measured:.2f}x vs baseline "
+                f"{expected:.2f}x (floor {floor:.2f}x at "
+                f"{tolerance:.0%} tolerance)"
+            )
+        else:
+            print(
+                f"ok: {label}: {measured:.2f}x (baseline {expected:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", default="smoke", help="experiment profile")
@@ -191,7 +248,29 @@ def main() -> int:
         action="store_true",
         help="only assert the fused plan path is taken (CI smoke guard)",
     )
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="measure fresh and fail if a speedup ratio dropped more than "
+        "--tolerance below the committed baseline (CI perf guard; set "
+        "REPRO_BENCH_SKIP=1 to skip on noisy shared runners)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(ROOT / "BENCH_pr3.json"),
+        help="baseline report for --check-regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative speedup drop for --check-regression "
+        "(default: 0.25)",
+    )
     args = parser.parse_args()
+    if args.check_regression and os.environ.get("REPRO_BENCH_SKIP", "") not in ("", "0"):
+        print("bench regression check skipped (REPRO_BENCH_SKIP set)")
+        return 0
     profile = get_profile(args.profile)
 
     errors = check_fused(profile)
@@ -207,6 +286,13 @@ def main() -> int:
     if not all(report["parity"].values()):
         print(f"FAIL: parity violated: {report['parity']}", file=sys.stderr)
         return 1
+    if args.check_regression:
+        # Guard mode: compare ratios against the committed baseline and
+        # leave the baseline file untouched.
+        problems = check_regression(report, Path(args.baseline), args.tolerance)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1 if problems else 0
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     forward = report["forward"]
     curve = report["fgsm_curve"]

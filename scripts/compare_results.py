@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two experiment result JSON artifacts for scientific equality.
+
+The CI fan-in job uses this to assert that a sharded grid — merged via
+``cache merge`` and replayed with ``--resume`` — produced exactly the
+results of an unsharded reference run.
+
+"Scientific equality" is byte equality of the canonicalized payloads:
+every value the paper's figures are built from (accuracies, robustness
+curves, grid shape, seeds) must match exactly, while provenance that
+legitimately differs between two executions of the same science is
+stripped first:
+
+* ``elapsed_seconds`` — wall-clock is not science;
+* ``worker`` — process names differ per host/pool;
+* ``engine`` — scheduler accounting (jobs, cached/computed split, shard);
+* ``weights_reused`` / ``manifest_path`` — cache-warmth bookkeeping.
+
+Exits 0 when the canonical forms are identical, 1 with a diff summary
+otherwise, 2 on unreadable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+VOLATILE_KEYS = frozenset(
+    {"elapsed_seconds", "worker", "workers", "engine", "weights_reused",
+     "manifest_path"}
+)
+
+
+def canonicalize(value):
+    """Recursively drop volatile keys and normalize ordering."""
+    if isinstance(value, dict):
+        return {
+            key: canonicalize(item)
+            for key, item in sorted(value.items())
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [canonicalize(item) for item in value]
+    return value
+
+
+def _differences(left, right, path: str = "$") -> list[str]:
+    if type(left) is not type(right):
+        return [f"{path}: type {type(left).__name__} != {type(right).__name__}"]
+    if isinstance(left, dict):
+        problems = []
+        for key in sorted(set(left) | set(right)):
+            if key not in left:
+                problems.append(f"{path}.{key}: only in right")
+            elif key not in right:
+                problems.append(f"{path}.{key}: only in left")
+            else:
+                problems.extend(_differences(left[key], right[key], f"{path}.{key}"))
+        return problems
+    if isinstance(left, list):
+        if len(left) != len(right):
+            return [f"{path}: length {len(left)} != {len(right)}"]
+        problems = []
+        for i, (a, b) in enumerate(zip(left, right)):
+            problems.extend(_differences(a, b, f"{path}[{i}]"))
+        return problems
+    if left != right:
+        return [f"{path}: {left!r} != {right!r}"]
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("left", type=Path, help="reference result JSON")
+    parser.add_argument("right", type=Path, help="candidate result JSON")
+    args = parser.parse_args()
+
+    payloads = []
+    for path in (args.left, args.right):
+        try:
+            payloads.append(json.loads(path.read_text()))
+        except (OSError, ValueError) as error:
+            print(f"cannot read {path}: {error}", file=sys.stderr)
+            return 2
+    left, right = (canonicalize(p) for p in payloads)
+    if json.dumps(left, sort_keys=True) == json.dumps(right, sort_keys=True):
+        print(f"results identical: {args.left} == {args.right} (canonical form)")
+        return 0
+    problems = _differences(left, right)
+    print(
+        f"results differ: {args.left} vs {args.right} "
+        f"({len(problems)} difference(s))",
+        file=sys.stderr,
+    )
+    for problem in problems[:40]:
+        print(f"  {problem}", file=sys.stderr)
+    if len(problems) > 40:
+        print(f"  ... and {len(problems) - 40} more", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

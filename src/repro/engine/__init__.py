@@ -18,13 +18,18 @@ turns that observation into infrastructure, split into three layers:
   :class:`SweepCache` atomic JSON result checkpoints and the
   :class:`WeightCache` of trained ``state_dict`` archives, all keyed by
   context fingerprints, making interrupted runs resumable and
-  security-only re-sweeps retraining-free.
+  security-only re-sweeps retraining-free;
+* **sharding** (:mod:`repro.engine.shard`, :mod:`repro.engine.merge`) —
+  :class:`ShardSpec` deterministically partitions any task list across
+  hosts (``task i -> shard i mod N``), shard manifests record per-shard
+  completion, and :func:`merge_cache_dirs` federates the per-host cache
+  directories back into one a ``--resume`` run can render figures from.
 
 :class:`repro.robustness.exploration.RobustnessExplorer` and the
 experiment runners in :mod:`repro.experiments` are the consumers; future
-sweeps (transfer studies, multi-host shards) should build on the same
-layers instead of hand-rolling loops.  See ``docs/architecture.md`` for
-the full layer map.
+sweeps (transfer studies) should build on the same layers instead of
+hand-rolling loops.  See ``docs/architecture.md`` for the full layer map
+and ``docs/sharding.md`` for the multi-host workflow.
 """
 
 from repro.engine.cache import (
@@ -47,11 +52,25 @@ from repro.engine.job import (
     make_cell_task,
     run_cell_task,
 )
+from repro.engine.merge import (
+    CacheMergeError,
+    MergeReport,
+    merge_cache_dirs,
+    verify_cache_dir,
+)
 from repro.engine.scheduler import (
     ContextSpec,
     ScheduleStats,
     run_cell_tasks,
     run_tasks,
+)
+from repro.engine.shard import (
+    ShardManifest,
+    ShardRunResult,
+    ShardSpec,
+    load_manifests,
+    record_durable_manifest,
+    update_manifest,
 )
 from repro.engine.sweep import (
     SweepJobContext,
@@ -63,11 +82,16 @@ from repro.engine.sweep import (
 
 __all__ = [
     "CacheEntry",
+    "CacheMergeError",
     "CellCache",
     "CellTask",
     "ContextSpec",
     "ExplorationJobContext",
+    "MergeReport",
     "ScheduleStats",
+    "ShardManifest",
+    "ShardRunResult",
+    "ShardSpec",
     "SweepCache",
     "SweepJobContext",
     "SweepResult",
@@ -78,8 +102,11 @@ __all__ = [
     "clear_cache_dir",
     "context_fingerprint",
     "gc_cache_dir",
+    "load_manifests",
     "make_cell_task",
     "make_sweep_task",
+    "merge_cache_dirs",
+    "record_durable_manifest",
     "run_cell_task",
     "run_cell_tasks",
     "run_sweep_task",
@@ -87,4 +114,6 @@ __all__ = [
     "scan_cache_dir",
     "sweep_fingerprint",
     "training_fingerprint",
+    "update_manifest",
+    "verify_cache_dir",
 ]

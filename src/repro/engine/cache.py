@@ -614,18 +614,60 @@ def _scan_stray_temps(directory: str | Path) -> list[CacheEntry]:
     return strays
 
 
+def _invalidate_manifests(directory: str | Path, fingerprints: set[str]) -> None:
+    """Drop shard-manifest records whose result checkpoints were deleted.
+
+    A manifest left behind after its ``cell_*``/``sweep_*`` entries are
+    pruned would make ``cache verify`` claim a completeness the
+    directory no longer has.  ``fingerprints`` holds the 12-character
+    prefixes of the removed *result* entries; matching manifests go with
+    them (weight archives use a different fingerprint family and never
+    match).
+    """
+    if not fingerprints:
+        return
+    from repro.engine.shard import MANIFEST_NAME, load_manifests, save_manifests
+
+    manifests = load_manifests(directory)
+    if not manifests:
+        return
+    kept = {
+        key: manifest
+        for key, manifest in manifests.items()
+        if manifest.fingerprint[:12] not in fingerprints
+    }
+    if len(kept) == len(manifests):
+        return
+    if kept:
+        save_manifests(directory, kept)
+    else:
+        (Path(directory) / MANIFEST_NAME).unlink(missing_ok=True)
+
+
 def clear_cache_dir(directory: str | Path, fingerprint: str | None = None) -> int:
     """Delete cache entries (optionally only one fingerprint's); returns count.
 
     Orphaned temp files from interrupted writes are swept as well; a temp
     belonging to a write currently in flight is safe to lose — the writer
     treats the failed rename like any other unwritable-cache condition.
+    Shard-manifest records covering deleted result checkpoints are
+    dropped too, so ``cache verify`` never vouches for pruned entries.
     """
     removed = 0
-    for entry in scan_cache_dir(directory) + _scan_stray_temps(directory):
+    dropped_results: set[str] = set()
+    for entry in scan_cache_dir(directory):
         if fingerprint_matches(entry, fingerprint):
             entry.path.unlink(missing_ok=True)
             removed += 1
+            if entry.kind in ("cell", "sweep"):
+                dropped_results.add(entry.fingerprint)
+    for stray in _scan_stray_temps(directory):
+        # Temps never completed a write, so sweeping them cannot
+        # invalidate a completeness claim.
+        if fingerprint_matches(stray, fingerprint):
+            stray.path.unlink(missing_ok=True)
+            removed += 1
+    _invalidate_manifests(directory, dropped_results)
     return removed
 
 
@@ -646,11 +688,24 @@ def gc_cache_dir(
     if max_age_seconds is None and fingerprint is None:
         raise ValueError("gc needs max_age_seconds and/or fingerprint (use clear to drop everything)")
     removed = 0
-    for entry in scan_cache_dir(directory) + _scan_stray_temps(directory):
+    dropped_results: set[str] = set()
+    for entry in scan_cache_dir(directory):
         if not fingerprint_matches(entry, fingerprint):
             continue
         if max_age_seconds is not None and entry.age_seconds(now) <= max_age_seconds:
             continue
         entry.path.unlink(missing_ok=True)
         removed += 1
+        if entry.kind in ("cell", "sweep"):
+            dropped_results.add(entry.fingerprint)
+    for stray in _scan_stray_temps(directory):
+        # Temps never completed a write, so sweeping them cannot
+        # invalidate a completeness claim.
+        if not fingerprint_matches(stray, fingerprint):
+            continue
+        if max_age_seconds is not None and stray.age_seconds(now) <= max_age_seconds:
+            continue
+        stray.path.unlink(missing_ok=True)
+        removed += 1
+    _invalidate_manifests(directory, dropped_results)
     return removed

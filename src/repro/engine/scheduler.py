@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from importlib import import_module
 
 from repro.engine.job import ExplorationJobContext, run_cell_task
+from repro.engine.shard import ShardSpec
 from repro.utils.logging import get_logger
 
 __all__ = ["ContextSpec", "ScheduleStats", "run_cell_tasks", "run_tasks"]
@@ -128,6 +129,9 @@ class ScheduleStats:
     start_method: str = "serial"
     """Pool backend actually used: ``serial``, ``fork`` or ``spawn``."""
 
+    shard: str = ""
+    """Shard slice this schedule served (``"1/3"``; empty = unsharded)."""
+
     def as_dict(self) -> dict:
         """JSON-friendly representation."""
         return {
@@ -138,6 +142,7 @@ class ScheduleStats:
             "elapsed_seconds": self.elapsed_seconds,
             "workers": list(self.workers),
             "start_method": self.start_method,
+            "shard": self.shard,
         }
 
 
@@ -187,8 +192,15 @@ def run_tasks(
     progress: ProgressCallback | None = None,
     start_method: str = "auto",
     context_spec: ContextSpec | None = None,
+    shard: ShardSpec | None = None,
 ) -> tuple[list, ScheduleStats]:
     """Execute ``tasks`` and return ``(results, stats)`` in task order.
+
+    With ``shard`` set, only the tasks the shard owns (``task.index mod
+    shard.count == shard.index``) are served — from cache or by
+    computing — and ``results`` covers exactly that slice, in task
+    order.  The partition depends only on task indices, so it is stable
+    across hosts and across ``--resume``.
 
     Parameters
     ----------
@@ -222,6 +234,10 @@ def run_tasks(
     context_spec:
         Recipe for rebuilding ``context`` inside spawn workers; required
         for ``start_method='spawn'``, optional fallback for ``auto``.
+    shard:
+        Optional :class:`~repro.engine.shard.ShardSpec` restricting this
+        invocation to its deterministic slice of the task list
+        (multi-host runs: one shard per host, caches merged afterwards).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -241,6 +257,11 @@ def run_tasks(
     if resume and cache is None:
         raise ValueError("resume=True requires a cache to resume from")
     start = time.perf_counter()
+    if shard is not None:
+        # Partition before anything else (cache lookups included): a
+        # shard must neither compute nor serve tasks it does not own, or
+        # two hosts would disagree about who completed what.
+        tasks = shard.partition(list(tasks))
     results: dict[int, object] = {}
     by_index = {task.index: task for task in tasks}
     if len(by_index) != len(tasks):
@@ -341,6 +362,7 @@ def run_tasks(
         elapsed_seconds=time.perf_counter() - start,
         workers=sorted(computed_workers),
         start_method=method_used,
+        shard="" if shard is None else str(shard),
     )
     return ordered, stats
 
@@ -354,6 +376,7 @@ def run_cell_tasks(
     progress: ProgressCallback | None = None,
     start_method: str = "auto",
     context_spec: ContextSpec | None = None,
+    shard: ShardSpec | None = None,
 ) -> tuple[list, ScheduleStats]:
     """Grid-cell convenience wrapper: :func:`run_tasks` with
     :func:`~repro.engine.job.run_cell_task` as the job function.
@@ -373,4 +396,5 @@ def run_cell_tasks(
         progress=progress,
         start_method=start_method,
         context_spec=context_spec,
+        shard=shard,
     )

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.engine.sweep import SweepResult, SweepTask
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.sweeps import (
@@ -32,6 +33,7 @@ from repro.experiments.sweeps import (
     build_ablation_context,
     build_ablation_tasks,
     run_sweep_schedule,
+    shard_run_result,
 )
 from repro.robustness.report import render_curve_table
 
@@ -140,7 +142,8 @@ def run_ablation_suite(
     epsilons: tuple[float, ...] | None = None,
     surrogate_families: tuple[str, ...] = DEFAULT_SURROGATE_FAMILIES,
     attack_families: tuple[str, ...] = DEFAULT_ATTACK_FAMILIES,
-) -> dict[str, AblationResult]:
+    shard: ShardSpec | None = None,
+) -> dict[str, AblationResult] | ShardRunResult:
     """Run the requested ablation factors as one scheduled job batch.
 
     Returns ``{factor: AblationResult}`` keyed by the CLI factor names
@@ -150,7 +153,10 @@ def run_ablation_suite(
     ``jobs`` parallelizes across *all* requested factors at once,
     ``cache_dir``/``resume`` checkpoint and resume individual variants,
     and ``epsilons`` overrides the profile's sweep — with cached weights
-    this re-attacks trained models without retraining them.
+    this re-attacks trained models without retraining them.  With
+    ``shard``, only the shard's slice of the suite runs and a
+    :class:`~repro.engine.shard.ShardRunResult` summary is returned
+    instead of the per-factor tables.
     """
     if isinstance(profile, str):
         profile = get_profile(profile)
@@ -176,7 +182,10 @@ def run_ablation_suite(
         cache_dir=cache_dir,
         resume=resume,
         start_method=start_method,
+        shard=shard,
     )
+    if shard is not None:
+        return shard_run_result("ablation", shard, tasks, metadata)
     return _group_by_factor(tasks, results, metadata)
 
 

@@ -12,13 +12,84 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.engine import CellCache, context_fingerprint
+from repro.engine.scheduler import run_cell_tasks
+from repro.engine.shard import (
+    ShardRunResult,
+    ShardSpec,
+    record_durable_manifest,
+)
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.sweeps import build_grid_context, spawn_spec_for
 from repro.robustness.exploration import RobustnessExplorer
 from repro.robustness.report import render_heatmap
 from repro.robustness.results import ExplorationResult
+from repro.utils.logging import get_logger
 
 __all__ = ["fig6_table", "fig7_table", "fig8_table", "run_grid_exploration"]
+
+_logger = get_logger("experiments.grid")
+
+
+def _run_grid_shard(
+    explorer: RobustnessExplorer,
+    context,
+    cache: CellCache | None,
+    cache_dir: str | Path | None,
+    shard: ShardSpec,
+    profile: ExperimentProfile,
+    verbose: bool,
+    jobs: int,
+    resume: bool,
+    start_method: str,
+    spec,
+) -> ShardRunResult:
+    """One shard's slice of the grid: compute + checkpoint, no figure.
+
+    The full heat maps need every cell; a shard only owns ``index mod
+    count`` of them, so it returns a completion summary and relies on
+    ``cache merge`` + an unsharded ``--resume`` run for rendering.
+    """
+    tasks = explorer.tasks()
+    owned = len(shard.partition(tasks))
+    completed: list[int] = []
+
+    def progress(task, cell, from_cache: bool) -> None:
+        completed.append(task.index)
+        if verbose:
+            _logger.info(
+                "[%d/%d] Vth=%g T=%d acc=%.3f%s",
+                len(completed), owned, task.v_th, task.time_window,
+                cell.clean_accuracy, " (cached)" if from_cache else "",
+            )
+
+    manifest_path = None
+    try:
+        _cells, stats = run_cell_tasks(
+            context,
+            tasks,
+            jobs=jobs,
+            cache=cache,
+            resume=resume,
+            progress=progress,
+            start_method=start_method,
+            context_spec=spec,
+            shard=shard,
+        )
+    finally:
+        # Even an interrupted shard leaves an accurate completion record
+        # for the coordinator's `cache verify`.
+        if cache is not None:
+            manifest_path = record_durable_manifest(
+                cache_dir, cache, "grid", tasks, shard
+            )
+    return ShardRunResult(
+        experiment="grid",
+        shard=shard,
+        task_count=len(tasks),
+        completed=tuple(completed),
+        manifest_path=manifest_path,
+        metadata={"profile": profile.name, "engine": stats.as_dict()},
+    )
 
 
 def run_grid_exploration(
@@ -28,7 +99,8 @@ def run_grid_exploration(
     cache_dir: str | Path | None = None,
     resume: bool = False,
     start_method: str = "auto",
-) -> ExplorationResult:
+    shard: ShardSpec | None = None,
+) -> ExplorationResult | ShardRunResult:
     """Run Algorithm 1 over the profile's grid (Figs. 6-8 in one pass).
 
     Parameters
@@ -51,6 +123,14 @@ def run_grid_exploration(
     start_method:
         Pool backend (``auto``/``fork``/``spawn``); spawn workers rebuild
         the job context from the profile name.
+    shard:
+        Run only this :class:`~repro.engine.shard.ShardSpec`'s slice of
+        the grid cells and return a
+        :class:`~repro.engine.shard.ShardRunResult` summary instead of
+        the heat maps — the multi-host path: each host runs one shard
+        into its own ``cache_dir``, the directories are merged with
+        ``cache merge``, and an unsharded ``resume`` run renders the
+        figures from the union.
     """
     if resume and cache_dir is None:
         raise ValueError("resume=True requires cache_dir to resume from")
@@ -78,6 +158,11 @@ def run_grid_exploration(
         )
         cache = CellCache(cache_dir, fingerprint)
     spec = spawn_spec_for("build_grid_context", profile, cache_dir, resume)
+    if shard is not None:
+        return _run_grid_shard(
+            explorer, context, cache, cache_dir, shard, profile,
+            verbose, jobs, resume, start_method, spec,
+        )
     result = explorer.run(
         verbose=verbose,
         jobs=jobs,
@@ -88,6 +173,10 @@ def run_grid_exploration(
         weight_cache=context.weight_cache,
     )
     result.metadata["profile"] = profile.name
+    if cache is not None:
+        # Unsharded runs record the degenerate 0/1 shard, so any cache
+        # directory answers `cache verify` with a completion claim.
+        record_durable_manifest(cache_dir, cache, "grid", explorer.tasks(), None)
     return result
 
 

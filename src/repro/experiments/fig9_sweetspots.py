@@ -24,12 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.engine.sweep import SweepResult, SweepTask
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.sweeps import (
     build_fig9_context,
     build_fig9_tasks,
     run_sweep_schedule,
+    shard_run_result,
 )
 from repro.robustness.report import render_curve_table
 from repro.robustness.security import RobustnessCurve
@@ -102,7 +104,8 @@ def run_fig9(
     resume: bool = False,
     start_method: str = "auto",
     epsilons: tuple[float, ...] | None = None,
-) -> Fig9Result:
+    shard: ShardSpec | None = None,
+) -> Fig9Result | ShardRunResult:
     """Reproduce the Figure-9 sweet-spot tracking under ``profile``.
 
     Parameters
@@ -124,6 +127,12 @@ def run_fig9(
         Override the profile's ε sweep.  With ``resume`` and a warm
         ``cache_dir`` this re-attacks cached trained models without
         retraining them.
+    shard:
+        Run only this :class:`~repro.engine.shard.ShardSpec`'s slice of
+        the variants and return a
+        :class:`~repro.engine.shard.ShardRunResult` summary instead of
+        the figure — the figure is rendered later, from the merged
+        caches, by an unsharded ``resume`` run.
     """
     if isinstance(profile, str):
         profile = get_profile(profile)
@@ -138,7 +147,10 @@ def run_fig9(
         cache_dir=cache_dir,
         resume=resume,
         start_method=start_method,
+        shard=shard,
     )
+    if shard is not None:
+        return shard_run_result("fig9", shard, tasks, metadata)
 
     clean: dict[str, float] = {}
     snn_curves: dict[tuple[float, int], RobustnessCurve] = {}

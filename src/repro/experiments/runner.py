@@ -44,6 +44,8 @@ from repro.engine.cache import (
     gc_cache_dir,
     scan_cache_dir,
 )
+from repro.engine.merge import CacheMergeError, merge_cache_dirs, verify_cache_dir
+from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.experiments.ablations import run_ablation_suite
 from repro.experiments.fig1_motivation import run_fig1
 from repro.experiments.fig678_grid import (
@@ -59,7 +61,7 @@ from repro.experiments.sweeps import ABLATION_FACTORS
 __all__ = ["build_parser", "main"]
 
 _START_METHODS = ("auto", "fork", "spawn")
-_CACHE_ACTIONS = ("stats", "inspect", "clear", "gc")
+_CACHE_ACTIONS = ("stats", "inspect", "clear", "gc", "merge", "verify")
 
 _DEFAULT_CACHE_DIR = Path(".repro_cache") / "cells"
 
@@ -76,6 +78,13 @@ def _parse_epsilons(text: str) -> tuple[float, ...]:
     if any(eps < 0 for eps in values):
         raise argparse.ArgumentTypeError("epsilons must be >= 0")
     return values
+
+
+def _parse_shard(text: str) -> ShardSpec:
+    try:
+        return ShardSpec.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool backend: auto prefers fork and falls back to "
         "spawn, which rebuilds the job context per worker (default: auto)",
     )
+    engine.add_argument(
+        "--shard",
+        type=_parse_shard,
+        default=None,
+        metavar="I/N",
+        help="run only shard I of an N-way task partition (task i belongs "
+        "to shard i mod N; indices are zero-based).  Each shard should use "
+        "its own --cache-dir; merge them afterwards with `cache merge` and "
+        "render figures via an unsharded --resume run",
+    )
 
     epsilons = argparse.ArgumentParser(add_help=False)
     epsilons.add_argument(
@@ -180,13 +199,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache = subparsers.add_parser(
         "cache",
-        help="inspect or prune checkpoint and weight caches",
+        help="inspect, prune or federate checkpoint and weight caches",
     )
     cache.add_argument(
         "action",
         choices=_CACHE_ACTIONS,
         help="stats: aggregate counts/sizes; inspect: list entries; "
-        "clear: delete entries; gc: delete by age and/or fingerprint",
+        "clear: delete entries; gc: delete by age and/or fingerprint; "
+        "merge: union shard cache directories into --into; "
+        "verify: check a directory's shard manifest for completeness",
+    )
+    cache.add_argument(
+        "sources",
+        nargs="*",
+        type=Path,
+        metavar="SRC",
+        help="merge only: shard cache directories to union",
+    )
+    cache.add_argument(
+        "--into",
+        type=Path,
+        default=None,
+        metavar="DST",
+        help="merge only: destination directory receiving the union "
+        "(created if missing; may already hold entries)",
     )
     cache.add_argument(
         "--cache-dir",
@@ -233,9 +269,30 @@ def _print_engine_summary(metadata: dict) -> None:
         f"[engine] method={stats['start_method']} jobs={stats['jobs']} "
         f"cached={stats['cached_cells']} computed={stats['computed_cells']}"
     )
+    if stats.get("shard"):
+        line += f" shard={stats['shard']}"
     if "weights_reused" in metadata:
         line += f" weights_reused={metadata['weights_reused']}"
     print(line)
+
+
+def _emit_shard_result(
+    result: ShardRunResult, out_dir: Path | None, profile_name: str
+) -> None:
+    """Render and persist one shard's completion summary.
+
+    Artifacts are suffixed with the shard slice (``..._shard0of3.json``)
+    so several shards can share an ``--out`` directory without clobbering
+    each other or the eventual full-figure artifact.
+    """
+    print(result.render())
+    _print_engine_summary(result.metadata)
+    suffix = f"shard{result.shard.index}of{result.shard.count}"
+    _write_json(
+        out_dir,
+        f"{result.experiment}_{profile_name}_{suffix}",
+        result.as_dict(),
+    )
 
 
 def _run_fig1(profile, out_dir: Path | None) -> None:
@@ -251,6 +308,7 @@ def _run_grid(
     cache_dir: Path | None = None,
     resume: bool = False,
     start_method: str = "auto",
+    shard: ShardSpec | None = None,
 ) -> None:
     from repro.errors import ExplorationError
     from repro.robustness import select_sweet_spots
@@ -262,7 +320,11 @@ def _run_grid(
         cache_dir=cache_dir,
         resume=resume,
         start_method=start_method,
+        shard=shard,
     )
+    if isinstance(result, ShardRunResult):
+        _emit_shard_result(result, out_dir, profile.name)
+        return
     print(fig6_table(result))
     print()
     print(fig7_table(result))
@@ -288,6 +350,7 @@ def _run_fig9(
     resume: bool = False,
     start_method: str = "auto",
     epsilons: tuple[float, ...] | None = None,
+    shard: ShardSpec | None = None,
 ) -> None:
     result = run_fig9(
         profile,
@@ -297,7 +360,11 @@ def _run_fig9(
         resume=resume,
         start_method=start_method,
         epsilons=epsilons,
+        shard=shard,
     )
+    if isinstance(result, ShardRunResult):
+        _emit_shard_result(result, out_dir, profile.name)
+        return
     print(result.render())
     _print_engine_summary(result.metadata)
     _write_json(out_dir, f"fig9_{profile.name}", result.as_dict())
@@ -312,6 +379,7 @@ def _run_ablation(
     resume: bool = False,
     start_method: str = "auto",
     epsilons: tuple[float, ...] | None = None,
+    shard: ShardSpec | None = None,
 ) -> None:
     suite = run_ablation_suite(
         profile,
@@ -322,7 +390,11 @@ def _run_ablation(
         resume=resume,
         start_method=start_method,
         epsilons=epsilons,
+        shard=shard,
     )
+    if isinstance(suite, ShardRunResult):
+        _emit_shard_result(suite, out_dir, profile.name)
+        return
     for factor in factors:
         result = suite[factor]
         print(result.render())
@@ -343,9 +415,85 @@ def _format_size(size: int) -> str:
     return f"{int(value)}B"
 
 
+def _run_cache_merge(args) -> int:
+    if not args.sources:
+        print(
+            "cache merge needs at least one SRC directory "
+            "(usage: cache merge SRC... --into DST)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.into is None:
+        print(
+            "cache merge needs --into DST (the directory receiving the union)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = merge_cache_dirs(args.sources, args.into)
+    except CacheMergeError as error:
+        # Conflicting cache contents: a data problem, not a usage one.
+        print(f"cache merge failed: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        # Missing source directory, destination listed as a source —
+        # usage errors, reported like the other argument mistakes.
+        print(f"cache merge: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"merged {len(report.sources)} source(s) into {report.destination}: "
+        f"{report.copied} copied, {report.skipped_identical} identical, "
+        f"{report.manifests_merged} manifest(s)"
+    )
+    for kind, count in sorted(report.by_kind.items()):
+        print(f"  {kind}: {count} copied")
+    return 0
+
+
+def _run_cache_verify(args) -> int:
+    ok, summaries = verify_cache_dir(args.cache_dir)
+    if args.json:
+        print(json.dumps({"complete": ok, "manifests": summaries}, indent=2))
+        return 0 if ok else 1
+    if not summaries:
+        print(
+            f"no shard manifest under {args.cache_dir} — nothing sharded "
+            "ever ran there (or the directory predates manifests)",
+            file=sys.stderr,
+        )
+        return 1
+    for summary in summaries:
+        status = "complete" if summary["complete"] else (
+            f"INCOMPLETE ({len(summary['missing'])} missing"
+            + (f", {len(summary['failed'])} failed" if summary["failed"] else "")
+            + ")"
+        )
+        print(
+            f"{summary['experiment']} [{summary['fingerprint'][:12]}]: "
+            f"{summary['completed']}/{summary['task_count']} tasks — {status}"
+        )
+        if summary["missing"]:
+            preview = ", ".join(str(i) for i in summary["missing"][:10])
+            more = "" if len(summary["missing"]) <= 10 else ", ..."
+            print(f"  missing ids: {preview}{more}")
+    return 0 if ok else 1
+
+
 def _run_cache(args) -> int:
     directory: Path = args.cache_dir
-    if args.action != "gc" and args.max_age_days is not None:
+    if args.action != "merge" and (args.sources or args.into is not None):
+        # A mistyped action with SRC/--into would otherwise be silently
+        # ignored — and the user clearly meant a merge.
+        print(
+            f"cache {args.action} does not take SRC directories or --into; "
+            "use `cache merge SRC... --into DST` to federate caches",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action not in ("gc",) and args.max_age_days is not None:
         # Silently ignoring an age bound would be harmless on stats/inspect
         # and catastrophic on clear; reject it uniformly — the user meant
         # `cache gc --max-age-days N`.
@@ -355,6 +503,20 @@ def _run_cache(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.action in ("merge", "verify") and args.fingerprint is not None:
+        # Merge always federates whole directories and verify always
+        # checks every manifest; a silently ignored filter would let an
+        # incomplete grid masquerade as verified.
+        print(
+            f"cache {args.action} does not take --fingerprint; it always "
+            "covers the whole directory",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "merge":
+        return _run_cache_merge(args)
+    if args.action == "verify":
+        return _run_cache_verify(args)
     if args.action == "stats":
         stats = cache_stats(directory, fingerprint=args.fingerprint)
         if args.json:
@@ -441,6 +603,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume needs checkpoints; drop --no-cache")
     if args.cache_dir is not None and args.no_cache:
         parser.error("--cache-dir conflicts with --no-cache")
+    if args.shard is not None and args.no_cache:
+        # A shard's entire output *is* its cache directory — running one
+        # without checkpointing would compute results and discard them.
+        parser.error("--shard needs checkpoints to hand to the merge; drop --no-cache")
     cache_dir: Path | None = None
     if not args.no_cache:
         if args.cache_dir is not None:
@@ -454,6 +620,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=cache_dir,
         resume=args.resume,
         start_method=args.start_method,
+        shard=args.shard,
     )
     epsilons = getattr(args, "epsilons", None)
     # dict.fromkeys: drop repeated --factor flags while keeping order
@@ -461,7 +628,17 @@ def main(argv: list[str] | None = None) -> int:
 
     planned: list[tuple[str, Callable[[], None]]] = []
     if args.command in ("fig1", "all"):
-        planned.append(("fig1", lambda: _run_fig1(profile, args.out)))
+        # fig1 is still serial (no engine port yet), so a sharded `all`
+        # assigns it — like any task — to exactly one shard: the owner of
+        # task index 0.  Every other shard skips it instead of all N
+        # hosts redundantly recomputing the same figure.
+        if args.shard is None or args.shard.owns(0):
+            planned.append(("fig1", lambda: _run_fig1(profile, args.out)))
+        else:
+            print(
+                f"[shard {args.shard}] skipping fig1: the serial experiment "
+                "belongs to shard 0"
+            )
     if args.command in ("grid", "all"):
         planned.append(
             ("grid", lambda: _run_grid(profile, args.out, **engine_kwargs))

@@ -28,6 +28,11 @@ from pathlib import Path
 from repro.engine.cache import SweepCache, WeightCache, sweep_fingerprint, training_fingerprint
 from repro.engine.job import ExplorationJobContext
 from repro.engine.scheduler import ContextSpec, run_tasks
+from repro.engine.shard import (
+    ShardRunResult,
+    ShardSpec,
+    record_durable_manifest,
+)
 from repro.engine.sweep import (
     SweepJobContext,
     SweepResult,
@@ -58,6 +63,7 @@ __all__ = [
     "build_fig9_tasks",
     "build_grid_context",
     "run_sweep_schedule",
+    "shard_run_result",
     "spawn_spec_for",
 ]
 
@@ -114,6 +120,7 @@ def run_sweep_schedule(
     cache_dir: str | Path | None = None,
     resume: bool = False,
     start_method: str = "auto",
+    shard: ShardSpec | None = None,
 ) -> tuple[list[SweepResult], dict]:
     """Shared scheduling scaffold of the engine-ported sweep experiments.
 
@@ -122,6 +129,13 @@ def run_sweep_schedule(
     target), wires up the result cache, progress logging and the spawn
     spec, runs the schedule, and returns ``(results, metadata)`` where
     metadata carries the engine stats and the weight-reuse count.
+
+    With ``shard`` set, only the shard's slice of ``tasks`` is served and
+    ``results`` covers exactly that slice.  Whenever a cache directory is
+    in play, the run folds its completed task ids into the directory's
+    shard manifest (``shard.json``) — written in a ``finally`` so even an
+    interrupted run leaves an accurate completion record for
+    ``cache verify`` / :func:`repro.engine.merge.verify_cache_dir`.
     """
     if resume and cache_dir is None:
         raise ValueError("resume=True requires cache_dir to resume from")
@@ -137,7 +151,7 @@ def run_sweep_schedule(
         )
     spec = spawn_spec_for(context_builder.__name__, profile, cache_dir, resume)
     logger = get_logger(f"experiments.{experiment}")
-    total = len(tasks)
+    total = len(tasks) if shard is None else len(shard.partition(tasks))
     done = 0
     weights_reused = 0
 
@@ -158,23 +172,55 @@ def run_sweep_schedule(
             done, total, task.key, result.clean_accuracy, source,
         )
 
-    results, stats = run_tasks(
-        context,
-        tasks,
-        run_sweep_task,
-        jobs=jobs,
-        cache=cache,
-        resume=resume,
-        progress=progress,
-        start_method=start_method,
-        context_spec=spec,
-    )
+    manifest_path: str | None = None
+    try:
+        results, stats = run_tasks(
+            context,
+            tasks,
+            run_sweep_task,
+            jobs=jobs,
+            cache=cache,
+            resume=resume,
+            progress=progress,
+            start_method=start_method,
+            context_spec=spec,
+            shard=shard,
+        )
+    finally:
+        if cache is not None:
+            manifest_path = record_durable_manifest(
+                cache_dir, cache, experiment, tasks, shard
+            )
     metadata = {
         "profile": profile.name,
         "engine": stats.as_dict(),
         "weights_reused": weights_reused,
     }
+    if manifest_path is not None:
+        metadata["manifest_path"] = manifest_path
     return results, metadata
+
+
+def shard_run_result(
+    experiment: str,
+    shard: ShardSpec,
+    tasks: list[SweepTask],
+    metadata: dict,
+) -> ShardRunResult:
+    """The summary a sharded sweep runner returns instead of its figure.
+
+    Reaching this point means :func:`run_sweep_schedule` returned, i.e.
+    every owned task completed — the owned slice *is* the completed set.
+    """
+    owned = shard.partition(tasks)
+    return ShardRunResult(
+        experiment=experiment,
+        shard=shard,
+        task_count=len(tasks),
+        completed=tuple(task.index for task in owned),
+        manifest_path=metadata.get("manifest_path"),
+        metadata=metadata,
+    )
 
 
 # -- Figs. 6-8 grid ------------------------------------------------------------

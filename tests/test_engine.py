@@ -207,13 +207,14 @@ class TestRunnerCLIFlags:
         captured = {}
 
         def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False,
-                      start_method="auto"):
+                      start_method="auto", shard=None):
             captured.update(
                 profile=profile.name,
                 jobs=jobs,
                 cache_dir=cache_dir,
                 resume=resume,
                 start_method=start_method,
+                shard=shard,
             )
             return _stub_result()
 
@@ -229,6 +230,7 @@ class TestRunnerCLIFlags:
             "cache_dir": tmp_path / "cell_cache",
             "resume": True,
             "start_method": "fork",
+            "shard": None,
         }
         saved = tmp_path / "grid_micro.json"
         assert saved.exists()
