@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Benchmark report for the fused-plan inference and ε-shared attack sweeps.
+"""Benchmark report for the fused inference, sweep and gradient paths.
 
 Measures, on the default spiking LeNet of an experiment profile:
 
@@ -10,20 +10,26 @@ Measures, on the default spiking LeNet of an experiment profile:
 2. **Robustness curve** — a K-epsilon FGSM curve via the historical
    per-ε ``evaluate_attack`` loop vs ``evaluate_attack_sweep``, asserting
    identical results.
+3. **Gradient paths** — ``input_gradient`` through the graph-free BPTT
+   path vs the autograd graph (bitwise-identical gradients asserted),
+   and a K-epsilon PGD-10 robustness curve on both paths (identical
+   attack outcomes asserted).
 
-Writes the timings and speedup ratios to ``BENCH_pr3.json`` (repo root by
-default).  ``--check-fused`` skips the timing and only runs the smoke
-guard: the profile's default spiking model must take the fused plan path
-end to end (full synapse-plan coverage, fused forward counter advancing)
-— the CI job runs this to catch silent fallback regressions.
+Forward/sweep timings go to ``BENCH_pr3.json`` and gradient timings to
+``BENCH_pr5.json`` (repo root by default).  ``--check-fused`` skips the
+timing and only runs the smoke guards: the profile's default spiking
+model must take the fused plan path end to end (full synapse-plan
+coverage, forward *and* backward counters advancing) — the CI job runs
+this to catch silent fallback regressions.
 
 ``--check-regression`` measures fresh and compares the *speedup ratios*
-against the committed baseline report: the planned-fused forward and the
-K-epsilon FGSM sweep must each retain their advantage to within
-``--tolerance`` (default 25 %).  Ratios — not absolute seconds — are
-compared, so the guard is meaningful on CI hardware that is nothing like
-the machine that wrote the baseline.  Shared runners with noisy
-neighbours can opt out by setting ``REPRO_BENCH_SKIP=1``.
+against the committed baseline reports: the planned-fused forward, the
+K-epsilon FGSM sweep, the fused input gradient and the PGD-10 curve must
+each retain their advantage to within ``--tolerance`` (default 25 %).
+Ratios — not absolute seconds — are compared, so the guard is meaningful
+on CI hardware that is nothing like the machine that wrote the
+baselines.  Shared runners with noisy neighbours can opt out by setting
+``REPRO_BENCH_SKIP=1``.
 """
 
 from __future__ import annotations
@@ -40,17 +46,20 @@ sys.path.insert(0, str(ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.attacks.base import input_gradient  # noqa: E402
 from repro.attacks.fgsm import FGSM  # noqa: E402
 from repro.attacks.metrics import (  # noqa: E402
     evaluate_attack,
     evaluate_attack_sweep,
 )
+from repro.attacks.pgd import PGD  # noqa: E402
 from repro.data.dataset import ArrayDataset  # noqa: E402
 from repro.experiments.profiles import get_profile  # noqa: E402
 from repro.models import build_model  # noqa: E402
 from repro.tensor.tensor import Tensor, no_grad  # noqa: E402
 
 EPSILONS = (0.0, 0.1, 0.25, 0.5, 1.0)
+PGD_STEPS = 10
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -91,6 +100,19 @@ def check_fused(profile) -> list[str]:
             f"{profile.snn_model}: no-grad forward did not take the fused path "
             f"(fused_forward_count={model.fused_forward_count})"
         )
+    if not model.backward_ready():
+        errors.append(
+            f"{profile.snn_model}: model does not honour the fused BPTT "
+            "contract (backward_ready() is False)"
+        )
+    else:
+        labels = np.zeros(4, dtype=np.int64)
+        input_gradient(model, x.data, labels)
+        if model.fused_backward_count != 1:
+            errors.append(
+                f"{profile.snn_model}: input_gradient did not take the fused "
+                f"BPTT path (fused_backward_count={model.fused_backward_count})"
+            )
     return errors
 
 
@@ -182,7 +204,107 @@ def run_benchmarks(profile, time_steps: int, samples: int, repeats: int) -> dict
     }
 
 
-def check_regression(report: dict, baseline_path: Path, tolerance: float) -> list[str]:
+def run_gradient_benchmarks(
+    profile, time_steps: int, samples: int, repeats: int
+) -> dict:
+    """Fused-BPTT vs autograd gradient benches (the BENCH_pr5 payload).
+
+    Asserts bitwise-identical input gradients and identical PGD/attack
+    outcomes between the two paths before timing either.
+    """
+    rng = np.random.default_rng(0)
+    shape = (samples, 1, profile.image_size, profile.image_size)
+    images = rng.random(shape).astype(np.float32)
+    labels = (np.arange(samples) % 10).astype(np.int64)
+    dataset = ArrayDataset(images, labels)
+    model = _build(profile, time_steps)
+
+    def pgd_curve():
+        # Fresh identically-seeded attacks per run: the random start draws
+        # the same noise on both paths, so outcomes must match exactly.
+        return evaluate_attack_sweep(
+            model,
+            lambda eps: PGD(eps, steps=PGD_STEPS, rng=0),
+            EPSILONS,
+            dataset,
+            batch_size=samples,
+        )
+
+    model.use_fused_backward = True
+    fused_gradient = input_gradient(model, images, labels)
+    fused_curve = pgd_curve()
+    model.use_fused_backward = False
+    autograd_gradient = input_gradient(model, images, labels)
+    autograd_curve = pgd_curve()
+    model.use_fused_backward = True
+    gradient_parity = bool(np.array_equal(fused_gradient, autograd_gradient))
+    curve_parity = fused_curve == autograd_curve
+
+    fused_gradient_s = _best_of(
+        repeats, lambda: input_gradient(model, images, labels)
+    )
+    fused_curve_s = _best_of(max(1, repeats - 1), pgd_curve)
+    model.use_fused_backward = False
+    autograd_gradient_s = _best_of(
+        repeats, lambda: input_gradient(model, images, labels)
+    )
+    autograd_curve_s = _best_of(max(1, repeats - 1), pgd_curve)
+    model.use_fused_backward = True
+
+    return {
+        "profile": profile.name,
+        "model": profile.snn_model,
+        "time_steps": time_steps,
+        "samples": samples,
+        "input_gradient": {
+            "autograd_s": autograd_gradient_s,
+            "fused_s": fused_gradient_s,
+            "speedup": autograd_gradient_s / fused_gradient_s,
+        },
+        "pgd10_curve": {
+            "epsilons": list(EPSILONS),
+            "steps": PGD_STEPS,
+            "autograd_s": autograd_curve_s,
+            "fused_s": fused_curve_s,
+            "speedup": autograd_curve_s / fused_curve_s,
+        },
+        "parity": {
+            "input_gradient_bitwise_identical": gradient_parity,
+            "pgd_curve_results_identical": curve_parity,
+        },
+    }
+
+
+FORWARD_CHECKS = (
+    (
+        "planned-fused forward speedup vs PR1 fused loop",
+        ("forward", "plan_speedup_vs_unplanned"),
+    ),
+    (
+        "fused forward speedup vs autograd",
+        ("forward", "fused_speedup_vs_autograd"),
+    ),
+    (
+        f"K={len(EPSILONS)} FGSM sweep speedup vs per-epsilon loop",
+        ("fgsm_curve", "speedup"),
+    ),
+)
+
+GRADIENT_CHECKS = (
+    (
+        "fused input_gradient speedup vs autograd",
+        ("input_gradient", "speedup"),
+    ),
+    (
+        f"K={len(EPSILONS)} PGD-{PGD_STEPS} curve speedup vs autograd path",
+        ("pgd10_curve", "speedup"),
+    ),
+)
+
+
+def check_regression(
+    report: dict, baseline_path: Path, tolerance: float, checks=FORWARD_CHECKS
+) -> list[str]:
     """Compare this run's speedup ratios against the committed baseline.
 
     A ratio may drift with load, so only a drop beyond ``tolerance``
@@ -194,20 +316,6 @@ def check_regression(report: dict, baseline_path: Path, tolerance: float) -> lis
         baseline = json.loads(baseline_path.read_text())
     except (OSError, ValueError) as error:
         return [f"cannot read baseline {baseline_path}: {error}"]
-    checks = (
-        (
-            "planned-fused forward speedup vs PR1 fused loop",
-            ("forward", "plan_speedup_vs_unplanned"),
-        ),
-        (
-            "fused forward speedup vs autograd",
-            ("forward", "fused_speedup_vs_autograd"),
-        ),
-        (
-            f"K={len(EPSILONS)} FGSM sweep speedup vs per-epsilon loop",
-            ("fgsm_curve", "speedup"),
-        ),
-    )
     errors: list[str] = []
     for label, (section, key) in checks:
         expected = baseline.get(section, {}).get(key)
@@ -234,7 +342,12 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", default="smoke", help="experiment profile")
     parser.add_argument(
-        "--out", default=str(ROOT / "BENCH_pr3.json"), help="report destination"
+        "--out", default=str(ROOT / "BENCH_pr3.json"),
+        help="forward/sweep report destination",
+    )
+    parser.add_argument(
+        "--gradient-out", default=str(ROOT / "BENCH_pr5.json"),
+        help="gradient-bench report destination",
     )
     parser.add_argument(
         "--time-steps", type=int, default=16, help="time window of the bench model"
@@ -258,7 +371,12 @@ def main() -> int:
     parser.add_argument(
         "--baseline",
         default=str(ROOT / "BENCH_pr3.json"),
-        help="baseline report for --check-regression",
+        help="forward/sweep baseline for --check-regression",
+    )
+    parser.add_argument(
+        "--gradient-baseline",
+        default=str(ROOT / "BENCH_pr5.json"),
+        help="gradient baseline for --check-regression",
     )
     parser.add_argument(
         "--tolerance",
@@ -286,16 +404,36 @@ def main() -> int:
     if not all(report["parity"].values()):
         print(f"FAIL: parity violated: {report['parity']}", file=sys.stderr)
         return 1
+    gradient_report = run_gradient_benchmarks(
+        profile, args.time_steps, args.samples, args.repeats
+    )
+    if not all(gradient_report["parity"].values()):
+        print(
+            f"FAIL: gradient parity violated: {gradient_report['parity']}",
+            file=sys.stderr,
+        )
+        return 1
     if args.check_regression:
-        # Guard mode: compare ratios against the committed baseline and
-        # leave the baseline file untouched.
+        # Guard mode: compare ratios against the committed baselines and
+        # leave the baseline files untouched.
         problems = check_regression(report, Path(args.baseline), args.tolerance)
+        problems += check_regression(
+            gradient_report,
+            Path(args.gradient_baseline),
+            args.tolerance,
+            checks=GRADIENT_CHECKS,
+        )
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1 if problems else 0
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    Path(args.gradient_out).write_text(
+        json.dumps(gradient_report, indent=2) + "\n"
+    )
     forward = report["forward"]
     curve = report["fgsm_curve"]
+    gradient = gradient_report["input_gradient"]
+    pgd = gradient_report["pgd10_curve"]
     print(
         f"forward: autograd {forward['autograd_s']:.3f}s, "
         f"fused(PR1) {forward['fused_unplanned_s']:.3f}s, "
@@ -306,7 +444,16 @@ def main() -> int:
         f"fgsm curve (K={len(EPSILONS)}): per-epsilon {curve['per_epsilon_s']:.3f}s, "
         f"sweep {curve['sweep_s']:.3f}s ({curve['speedup']:.2f}x)"
     )
-    print(f"report written to {args.out}")
+    print(
+        f"input gradient: autograd {gradient['autograd_s']:.3f}s, "
+        f"fused BPTT {gradient['fused_s']:.3f}s ({gradient['speedup']:.2f}x)"
+    )
+    print(
+        f"pgd-{PGD_STEPS} curve (K={len(EPSILONS)}): autograd "
+        f"{pgd['autograd_s']:.3f}s, fused {pgd['fused_s']:.3f}s "
+        f"({pgd['speedup']:.2f}x)"
+    )
+    print(f"reports written to {args.out} and {args.gradient_out}")
     return 0
 
 

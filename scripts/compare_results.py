@@ -11,7 +11,7 @@ curves, grid shape, seeds) must match exactly, while provenance that
 legitimately differs between two executions of the same science is
 stripped first:
 
-* ``elapsed_seconds`` — wall-clock is not science;
+* ``elapsed_seconds`` / ``phase_seconds`` — wall-clock is not science;
 * ``worker`` — process names differ per host/pool;
 * ``engine`` — scheduler accounting (jobs, cached/computed split, shard);
 * ``weights_reused`` / ``manifest_path`` — cache-warmth bookkeeping.
@@ -28,8 +28,8 @@ import sys
 from pathlib import Path
 
 VOLATILE_KEYS = frozenset(
-    {"elapsed_seconds", "worker", "workers", "engine", "weights_reused",
-     "manifest_path"}
+    {"elapsed_seconds", "phase_seconds", "worker", "workers", "engine",
+     "weights_reused", "manifest_path"}
 )
 
 

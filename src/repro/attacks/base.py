@@ -19,6 +19,18 @@ def input_gradient(model: Module, images: np.ndarray, labels: np.ndarray) -> np.
     sign).  For spiking models the gradient flows through the unrolled
     time loop and the surrogate spike derivatives.
 
+    The model is forced into eval mode for the duration of the pass (and
+    restored afterwards): attack gradients must be taken against the
+    deterministic inference behaviour — a ``Dropout`` left in training
+    mode would redraw its mask between PGD iterations and randomize the
+    attack direction.
+
+    Models exposing the fused BPTT contract (``fused_input_gradient`` +
+    ``backward_ready``, i.e. :class:`~repro.snn.network.SpikingNetwork`)
+    take the graph-free reverse-time path, which produces bitwise the
+    gradients of the autograd graph at a fraction of the cost; everything
+    else differentiates the unrolled graph.
+
     Returns zeros when the loss does not depend on the input at all.
     This is a real phenomenon in SNNs, not an error: each state-coupled
     stage adds one step of input-to-output latency, so when the time
@@ -26,13 +38,33 @@ def input_gradient(model: Module, images: np.ndarray, labels: np.ndarray) -> np.
     (exactly) independent of the image — the white-box gradient vanishes
     and gradient-based attacks are blinded.
     """
-    x = Tensor(images.copy(), requires_grad=True)
-    logits = model(x)
-    loss = F.cross_entropy(logits, labels)
-    loss.backward()
-    if x.grad is None:
-        return np.zeros_like(x.data)
-    return x.grad
+    # Save per-module modes: a blanket train()/eval() round-trip would
+    # flatten deliberately frozen submodules (e.g. a sub-network pinned to
+    # eval inside an otherwise training model).
+    modules = list(model.modules()) if hasattr(model, "modules") else []
+    saved_modes = [(module, module.training) for module in modules]
+    force_eval = any(mode for _module, mode in saved_modes)
+    if force_eval:
+        model.eval()
+    try:
+        fused = getattr(model, "fused_input_gradient", None)
+        if (
+            fused is not None
+            and getattr(model, "use_fused_backward", False)
+            and model.backward_ready()
+        ):
+            return fused(images, labels)
+        x = Tensor(images.copy(), requires_grad=True)
+        logits = model(x)
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        if x.grad is None:
+            return np.zeros_like(x.data)
+        return x.grad
+    finally:
+        if force_eval:
+            for module, mode in saved_modes:
+                module.training = mode
 
 
 def predict_batched(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:

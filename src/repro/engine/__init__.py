@@ -40,6 +40,7 @@ from repro.engine.cache import (
     cache_stats,
     clear_cache_dir,
     context_fingerprint,
+    entry_timings,
     gc_cache_dir,
     scan_cache_dir,
     sweep_fingerprint,
@@ -101,6 +102,7 @@ __all__ = [
     "cache_stats",
     "clear_cache_dir",
     "context_fingerprint",
+    "entry_timings",
     "gc_cache_dir",
     "load_manifests",
     "make_cell_task",

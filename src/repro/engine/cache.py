@@ -551,6 +551,38 @@ def scan_cache_dir(directory: str | Path) -> list[CacheEntry]:
     return entries
 
 
+def entry_timings(entry: CacheEntry) -> dict[str, float] | None:
+    """Wall-clock breakdown stored inside a result checkpoint, if any.
+
+    Reads the entry's JSON payload and returns ``elapsed_seconds`` plus
+    the per-phase ``train_s`` / ``attack_s`` / ``eval_s`` keys recorded by
+    the job runners (``cache inspect`` surfaces these so BENCH
+    trajectories show where cell wall time actually goes).  Returns
+    ``None`` for weight archives, pre-phase-tracking checkpoints and
+    unreadable files.
+    """
+    if entry.kind not in ("cell", "sweep"):
+        return None
+    try:
+        payload = json.loads(entry.path.read_text())
+        if not isinstance(payload, dict):
+            return None
+        value = payload.get("cell") or payload.get("result")
+        if not isinstance(value, dict):
+            return None
+        timings: dict[str, float] = {}
+        if "elapsed_seconds" in value:
+            timings["elapsed_s"] = float(value["elapsed_seconds"])
+        phases = value.get("phase_seconds")
+        if isinstance(phases, dict):
+            for key in sorted(phases):
+                timings[str(key)] = float(phases[key])
+    except (OSError, TypeError, ValueError):
+        # One malformed checkpoint must not abort a whole listing.
+        return None
+    return timings or None
+
+
 def cache_stats(directory: str | Path, fingerprint: str | None = None) -> dict:
     """Aggregate counts and sizes per kind and per fingerprint.
 

@@ -157,6 +157,7 @@ def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
     "new ε list, same grid" runs cheap.
     """
     start = time.perf_counter()
+    phase_seconds: dict[str, float] = {}
     config = context.config
     model = context.model_factory(task.v_th, task.time_window, task.cell_seed)
     cached = None
@@ -189,8 +190,12 @@ def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
                 model.state_dict(),
                 {"clean_accuracy": clean_accuracy},
             )
+    # train_and_score folds training and the clean-accuracy gate into one
+    # call, so the cell-level breakdown reports them as one train phase.
+    phase_seconds["train_s"] = time.perf_counter() - start
     robustness: dict[float, float] = {}
     if learnable:
+        attack_start = time.perf_counter()
         curve = robustness_curve(
             model,
             context.test_set,
@@ -200,6 +205,7 @@ def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
             batch_size=config.attack_batch_size,
         )
         robustness = dict(zip(curve.epsilons, curve.robustness))
+        phase_seconds["attack_s"] = time.perf_counter() - attack_start
     return CellResult(
         v_th=task.v_th,
         time_window=task.time_window,
@@ -208,5 +214,6 @@ def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
         diverged=diverged,
         robustness=robustness,
         elapsed_seconds=time.perf_counter() - start,
+        phase_seconds=phase_seconds,
         worker=current_process().name,
     )

@@ -174,6 +174,11 @@ class SweepResult:
     elapsed_seconds: float = field(default=0.0, compare=False)
     """Wall-clock time spent on this task (train/load + attacks)."""
 
+    phase_seconds: dict[str, float] = field(default_factory=dict, compare=False)
+    """Breakdown of :attr:`elapsed_seconds`: ``train_s`` (training or the
+    cache load replacing it), ``eval_s`` (clean-accuracy pass) and
+    ``attack_s`` (the ε sweeps).  Provenance, excluded from equality."""
+
     worker: str = field(default="", compare=False)
     """Process name that evaluated the task."""
 
@@ -192,6 +197,7 @@ class SweepResult:
             },
             "weights_from_cache": self.weights_from_cache,
             "elapsed_seconds": self.elapsed_seconds,
+            "phase_seconds": dict(self.phase_seconds),
             "worker": self.worker,
         }
 
@@ -207,6 +213,10 @@ class SweepResult:
             },
             weights_from_cache=bool(payload.get("weights_from_cache", False)),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            phase_seconds={
+                str(k): float(v)
+                for k, v in payload.get("phase_seconds", {}).items()
+            },
             worker=str(payload.get("worker", "")),
         )
 
@@ -247,6 +257,7 @@ def run_sweep_task(context: SweepJobContext, task: SweepTask) -> SweepResult:
     sweep is recomputed.
     """
     start = time.perf_counter()
+    phase_seconds: dict[str, float] = {}
     model = context.model_builder(task)
     cached = None
     if context.weight_cache is not None and context.reuse_weights:
@@ -256,10 +267,14 @@ def run_sweep_task(context: SweepJobContext, task: SweepTask) -> SweepResult:
         model.load_state_dict(state)
         clean_accuracy = float(metadata["clean_accuracy"])
         weights_from_cache = True
+        phase_seconds["train_s"] = time.perf_counter() - start
     else:
         training = replace(context.training, seed=task.train_seed & 0x7FFFFFFF)
         Trainer(model, training).fit(context.train_set)
+        phase_seconds["train_s"] = time.perf_counter() - start
+        eval_start = time.perf_counter()
         clean_accuracy = evaluate_clean_accuracy(model, context.clean_eval_set)
+        phase_seconds["eval_s"] = time.perf_counter() - eval_start
         weights_from_cache = False
         # Imported lazily: repro.engine.cache imports SweepResult from here.
         from repro.engine.cache import archive_weights
@@ -273,6 +288,7 @@ def run_sweep_task(context: SweepJobContext, task: SweepTask) -> SweepResult:
         )
     if context.attack_prep is not None:
         context.attack_prep(model, task)
+    attack_start = time.perf_counter()
     curves: dict[str, dict[float, float]] = {}
     for attack_name in task.attacks:
         # One ε-shared sweep per family: clean predictions and (for
@@ -299,11 +315,13 @@ def run_sweep_task(context: SweepJobContext, task: SweepTask) -> SweepResult:
             float(epsilon): evaluation.robustness
             for epsilon, evaluation in zip(task.epsilons, evaluations)
         }
+    phase_seconds["attack_s"] = time.perf_counter() - attack_start
     return SweepResult(
         key=task.key,
         clean_accuracy=clean_accuracy,
         curves=curves,
         weights_from_cache=weights_from_cache,
         elapsed_seconds=time.perf_counter() - start,
+        phase_seconds=phase_seconds,
         worker=current_process().name,
     )

@@ -40,6 +40,7 @@ from pathlib import Path
 from repro.engine.cache import (
     cache_stats,
     clear_cache_dir,
+    entry_timings,
     fingerprint_matches,
     gc_cache_dir,
     scan_cache_dir,
@@ -547,6 +548,7 @@ def _run_cache(args) -> int:
                         "fingerprint": e.fingerprint,
                         "size_bytes": e.size_bytes,
                         "age_seconds": round(e.age_seconds(), 1),
+                        "timings": entry_timings(e),
                     }
                     for e in entries
                 ],
@@ -558,10 +560,19 @@ def _run_cache(args) -> int:
             return 0
         for entry in entries:
             age_hours = entry.age_seconds() / 3600
+            timings = entry_timings(entry)
+            # Phase breakdown (train/attack/eval) shows where a cell's
+            # wall time went — the signal BENCH trajectories watch.
+            suffix = ""
+            if timings:
+                suffix = "  " + " ".join(
+                    f"{key.removesuffix('_s')}={value:.1f}s"
+                    for key, value in timings.items()
+                )
             print(
                 f"{entry.kind:<8} {entry.fingerprint} "
                 f"{_format_size(entry.size_bytes):>10} {age_hours:8.1f}h  "
-                f"{entry.path.name}"
+                f"{entry.path.name}{suffix}"
             )
         return 0
     if args.action == "clear":

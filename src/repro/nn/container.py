@@ -83,3 +83,27 @@ class Sequential(Module):
         for layer in self.layers:
             x = layer.forward_numpy(x)
         return x
+
+    def forward_record_numpy(self, x):
+        """:meth:`forward_numpy` plus the per-member backward contexts.
+
+        As with :meth:`forward_numpy`, callers must establish first that
+        every member honours the record/backward twin contract (the fused
+        BPTT path checks recursively).
+        """
+        contexts = []
+        for layer in self.layers:
+            x, ctx = layer.forward_record_numpy(x)
+            contexts.append(ctx)
+        return x, contexts
+
+    def backward_numpy(self, g, ctx, param_sink: list | None = None):
+        """Graph-free backward twin: chain the members' backwards in reverse.
+
+        Members append their ``(param, grad)`` pairs to the shared
+        ``param_sink`` deepest-first — the order the autograd engine
+        processes them within one application of the pipeline.
+        """
+        for layer, member_ctx in zip(reversed(list(self.layers)), reversed(ctx)):
+            g = layer.backward_numpy(g, member_ctx, param_sink)
+        return g

@@ -56,8 +56,13 @@ class Conv2d(Module):
         if bias:
             fan_in = in_channels * kh * kw
             bound = 1.0 / math.sqrt(fan_in)
+            # Cast like the weight init does: a raw float64 draw would
+            # silently promote every downstream op to float64, doubling
+            # the memory traffic of the whole network.
             self.bias: Parameter | None = Parameter(
-                generator.uniform(-bound, bound, size=out_channels)
+                generator.uniform(-bound, bound, size=out_channels).astype(
+                    self.weight.dtype
+                )
             )
         else:
             self.bias = None
@@ -75,6 +80,11 @@ class Conv2d(Module):
         or autograd overhead.  Weights are read at call time, so training
         or ``load_state_dict`` never invalidates a plan.
         """
+        plan = self._plan_for(x)
+        bias = self.bias.data if self.bias is not None else None
+        return plan(x, self.weight.data, bias)
+
+    def _plan_for(self, x: np.ndarray) -> F.Conv2dPlan:
         key = (x.shape, x.dtype.str)
         plan = self._plans.get(key)
         if plan is None:
@@ -82,8 +92,34 @@ class Conv2d(Module):
                 x.shape, x.dtype, self.weight.shape, self.stride, self.padding
             )
             self._plans[key] = plan
+        return plan
+
+    def forward_record_numpy(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """:meth:`forward_numpy` plus the context :meth:`backward_numpy` needs."""
+        plan = self._plan_for(x)
         bias = self.bias.data if self.bias is not None else None
-        return plan(x, self.weight.data, bias)
+        return plan(x, self.weight.data, bias), (x, plan)
+
+    def backward_numpy(
+        self, g: np.ndarray, ctx: object, param_sink: list | None = None
+    ) -> np.ndarray:
+        """Graph-free backward twin: plan-backed col2im input gradient.
+
+        Mirrors :func:`repro.tensor.functional.conv2d`'s backward closure
+        exactly.  Weight/bias gradients (recomputed-im2col matmul, channel
+        sum) are only paid for when ``param_sink`` is given — attack
+        crafting needs input gradients alone, which skips both parameter
+        GEMMs per time step; the sink lets the caller fold contributions
+        in the autograd path's accumulation order.
+        """
+        x, plan = ctx
+        if param_sink is not None:
+            param_sink.append(
+                (self.weight, plan.backward_weight(g, x, self.weight.shape))
+            )
+            if self.bias is not None:
+                param_sink.append((self.bias, plan.backward_bias(g)))
+        return plan.backward_input(g, self.weight.data)
 
     def __repr__(self) -> str:
         return (

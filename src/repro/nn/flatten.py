@@ -22,5 +22,15 @@ class Flatten(Module):
         """Graph-free twin of :meth:`forward` (may return a view of ``x``)."""
         return x.reshape(x.shape[: self.start_dim] + (-1,))
 
+    def forward_record_numpy(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """:meth:`forward_numpy` plus the context :meth:`backward_numpy` needs."""
+        return self.forward_numpy(x), x.shape
+
+    def backward_numpy(
+        self, g: np.ndarray, ctx: object, param_sink: list | None = None
+    ) -> np.ndarray:
+        """Graph-free backward twin (reshape back to the recorded shape)."""
+        return g.reshape(ctx)
+
     def __repr__(self) -> str:
         return f"Flatten(start_dim={self.start_dim})"

@@ -46,8 +46,13 @@ class Linear(Module):
         )
         if bias:
             bound = 1.0 / math.sqrt(in_features)
+            # Cast like the weight init does: a raw float64 draw would
+            # silently promote every downstream op to float64, doubling
+            # the memory traffic of the whole network.
             self.bias: Parameter | None = Parameter(
-                generator.uniform(-bound, bound, size=out_features)
+                generator.uniform(-bound, bound, size=out_features).astype(
+                    self.weight.dtype
+                )
             )
         else:
             self.bias = None
@@ -84,6 +89,30 @@ class Linear(Module):
         if self.bias is not None:
             out = out + self.bias.data
         return out
+
+    def forward_record_numpy(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """:meth:`forward_numpy` plus the context :meth:`backward_numpy` needs."""
+        return self.forward_numpy(x), x
+
+    def backward_numpy(
+        self, g: np.ndarray, ctx: object, param_sink: list | None = None
+    ) -> np.ndarray:
+        """Graph-free backward twin: input (and optionally weight) gradients.
+
+        Performs the exact arithmetic the autograd path's matmul/add
+        closures perform (``g @ W`` against the same contiguous weight
+        layout the double-transposed view restores), so gradients stay
+        bitwise identical.  With ``param_sink``, ``(param, grad)`` pairs
+        are appended for the caller to fold in the autograd path's
+        accumulation order (see :mod:`repro.snn.backward`); without it the
+        weight-gradient GEMM is skipped entirely.
+        """
+        x: np.ndarray = ctx
+        if param_sink is not None:
+            param_sink.append((self.weight, (x.T @ g).transpose()))
+            if self.bias is not None:
+                param_sink.append((self.bias, g.sum(axis=0)))
+        return g @ self.weight.data
 
     def __repr__(self) -> str:
         return (

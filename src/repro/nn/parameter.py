@@ -21,3 +21,17 @@ class Parameter(Tensor):
 
     def __repr__(self) -> str:
         return f"Parameter(shape={self.shape}, dtype={self.data.dtype})"
+
+
+def accumulate_grad(parameter: Parameter, grad: np.ndarray) -> None:
+    """Add ``grad`` into ``parameter.grad`` like :meth:`Tensor.backward` does.
+
+    The graph-free backward twins (``backward_numpy``) use this so their
+    parameter-gradient accumulation is indistinguishable from the autograd
+    path: a fresh array on first contribution, ``grad = grad + piece``
+    (not in-place) afterwards.
+    """
+    if parameter.grad is None:
+        parameter.grad = grad
+    else:
+        parameter.grad = parameter.grad + grad

@@ -27,11 +27,32 @@ class MaxPool2d(Module):
 
     def forward_numpy(self, x: np.ndarray) -> np.ndarray:
         """Graph-free twin of :meth:`forward` on raw arrays (plan-cached)."""
+        return self._plan_for(x)(x)
+
+    def _plan_for(self, x: np.ndarray) -> F.MaxPool2dPlan:
         plan = self._plans.get(x.shape)
         if plan is None:
             plan = F.MaxPool2dPlan(x.shape, self.kernel_size, self.stride)
             self._plans[x.shape] = plan
-        return plan(x)
+        return plan
+
+    def forward_record_numpy(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """:meth:`forward_numpy` plus the context :meth:`backward_numpy` needs.
+
+        Records the raw input *and* the pooled output — the plan's
+        pairwise-max forward never materialises argmax indices, so the
+        backward reconstructs the routing from these instead.
+        """
+        plan = self._plan_for(x)
+        out = plan(x)
+        return out, (x, out, plan)
+
+    def backward_numpy(
+        self, g: np.ndarray, ctx: object, param_sink: list | None = None
+    ) -> np.ndarray:
+        """Graph-free backward twin (first-claim max routing)."""
+        x, out, plan = ctx
+        return plan.backward(g, x, out)
 
     def __repr__(self) -> str:
         return f"MaxPool2d(kernel={self.kernel_size}, stride={self.stride})"
@@ -55,11 +76,26 @@ class AvgPool2d(Module):
 
     def forward_numpy(self, x: np.ndarray) -> np.ndarray:
         """Graph-free twin of :meth:`forward` on raw arrays (plan-cached)."""
+        return self._plan_for(x)(x)
+
+    def _plan_for(self, x: np.ndarray) -> F.AvgPool2dPlan:
         plan = self._plans.get(x.shape)
         if plan is None:
             plan = F.AvgPool2dPlan(x.shape, self.kernel_size, self.stride)
             self._plans[x.shape] = plan
-        return plan(x)
+        return plan
+
+    def forward_record_numpy(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """:meth:`forward_numpy` plus the context :meth:`backward_numpy` needs."""
+        plan = self._plan_for(x)
+        return plan(x), (plan, x.dtype)
+
+    def backward_numpy(
+        self, g: np.ndarray, ctx: object, param_sink: list | None = None
+    ) -> np.ndarray:
+        """Graph-free backward twin (uniform window spread)."""
+        plan, dtype = ctx
+        return plan.backward(g, dtype)
 
     def __repr__(self) -> str:
         return f"AvgPool2d(kernel={self.kernel_size}, stride={self.stride})"

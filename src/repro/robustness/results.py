@@ -30,6 +30,16 @@ class CellResult:
     regardless of where or how fast they executed.
     """
 
+    phase_seconds: dict[str, float] = field(default_factory=dict, compare=False)
+    """Wall-clock breakdown of :attr:`elapsed_seconds` by phase.
+
+    Keys are a subset of ``train_s`` (the Train()+gate step, or the
+    weight-cache load that replaced it), ``attack_s`` (the security
+    sweep) and ``eval_s`` (clean-accuracy evaluation, when it runs as a
+    separate phase).  Provenance like :attr:`elapsed_seconds` — excluded
+    from equality and stripped by ``scripts/compare_results.py``.
+    """
+
     worker: str = field(default="", compare=False)
     """Process name that evaluated the cell (``MainProcess`` when serial)."""
 
@@ -43,6 +53,7 @@ class CellResult:
             "diverged": self.diverged,
             "robustness": {repr(k): v for k, v in self.robustness.items()},
             "elapsed_seconds": self.elapsed_seconds,
+            "phase_seconds": dict(self.phase_seconds),
             "worker": self.worker,
         }
 
@@ -57,6 +68,10 @@ class CellResult:
             diverged=bool(payload.get("diverged", False)),
             robustness={float(k): float(v) for k, v in payload["robustness"].items()},
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            phase_seconds={
+                str(k): float(v)
+                for k, v in payload.get("phase_seconds", {}).items()
+            },
             worker=str(payload.get("worker", "")),
         )
 

@@ -60,11 +60,34 @@ class ConstantCurrentLIFEncoder(Module):
 
     def step_numpy(self, image, state=None):
         """Graph-free twin of :meth:`step` on raw arrays (no_grad hot path)."""
+        return self.cell.step_numpy(image * self._promoted_scale(), state)
+
+    def _promoted_scale(self) -> np.ndarray:
         cached = self._scale_cache
         if cached is None or cached[0] != self.input_scale:
             cached = (self.input_scale, promote_scalar(self.input_scale))
             self._scale_cache = cached
-        return self.cell.step_numpy(image * cached[1], state)
+        return cached[1]
+
+    def step_record_numpy(self, image, state=None):
+        """:meth:`step_numpy` that also records the BPTT backward context.
+
+        Delegates to the encoder population's
+        :meth:`~repro.snn.neuron.LIFCell.step_record_numpy`; the injection
+        current is a pure scaling, so the cell context is all the backward
+        needs.  Returns ``(spikes, new_state, ctx)``.
+        """
+        return self.cell.step_record_numpy(image * self._promoted_scale(), state)
+
+    def step_backward_numpy(self, g_spikes, g_state, ctx):
+        """Reverse one encoder step; returns ``(g_image_piece, g_prev_state)``.
+
+        ``g_image_piece`` is this step's contribution to the input-pixel
+        gradient (the caller accumulates pieces over reverse time exactly
+        like the autograd path does).
+        """
+        g_current, g_prev = self.cell.step_backward_numpy(g_spikes, g_state, ctx)
+        return g_current * self._promoted_scale(), g_prev
 
     def encode(self, image: Tensor, time_steps: int) -> list[Tensor]:
         """Unroll :meth:`step` for ``time_steps`` and collect spike tensors."""
@@ -114,6 +137,25 @@ class PoissonEncoder(Module):
             return (g * derivative,)
 
         return apply_op(sample, (image,), backward, "poisson_encode"), None
+
+    def step_record_numpy(self, image: np.ndarray, state: object | None = None):
+        """Graph-free recording twin of :meth:`step` for the fused BPTT path.
+
+        Draws from the same generator with the same call pattern as the
+        Tensor path (one ``random`` draw per step), so spike trains —
+        and therefore gradients — are identical for identical rng states.
+        Returns ``(spikes, None, derivative)`` with the straight-through
+        derivative as the backward context.
+        """
+        probability = np.clip(self.scale * image, 0.0, 1.0)
+        sample = (self._rng.random(image.shape) < probability).astype(image.dtype)
+        active = ((self.scale * image) > 0.0) & ((self.scale * image) < 1.0)
+        derivative = self.scale * active.astype(image.dtype)
+        return sample, None, derivative
+
+    def step_backward_numpy(self, g_spikes, g_state, ctx):
+        """Reverse one encoder step; returns ``(g_image_piece, None)``."""
+        return g_spikes * ctx, None
 
     def encode(self, image: Tensor, time_steps: int) -> list[Tensor]:
         """Draw ``time_steps`` independent spike frames."""

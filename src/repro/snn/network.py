@@ -22,9 +22,11 @@ import numpy as np
 
 from repro.nn.container import ModuleList, Sequential
 from repro.nn.module import Module
+from repro.snn import backward as bptt
 from repro.snn.decoding import MaxMembraneDecoder
 from repro.snn.encoding import ConstantCurrentLIFEncoder
 from repro.snn.neuron import LICell, LIFCell, LIFParameters
+from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor, is_grad_enabled
 from repro.utils.dispatch import has_trusted_twin
 
@@ -144,6 +146,13 @@ class SpikingNetwork(Module):
         self.fused_forward_count = 0
         """Number of forwards served by :meth:`_forward_inference` — the
         observability hook the fused-path smoke guards assert on."""
+        self.use_fused_backward = True
+        """Route :func:`repro.attacks.base.input_gradient` through the
+        graph-free BPTT path when :meth:`backward_ready` holds (disable to
+        benchmark the autograd baseline; gradients are identical)."""
+        self.fused_backward_count = 0
+        """Number of backward passes served by the fused BPTT path — the
+        observability hook of the gradient-path smoke guards."""
 
     # -- structural parameters ------------------------------------------------
 
@@ -305,6 +314,111 @@ class SpikingNetwork(Module):
         if decode is not None:
             return Tensor(decode(trace))
         return self.decoder([Tensor(step) for step in trace])
+
+    # -- fused backward (graph-free BPTT) -------------------------------------
+
+    def backward_ready(self) -> bool:
+        """Whether the stack honours the fused-BPTT contract.
+
+        Mirrors :meth:`_fused_ready`, but for the record/backward twins:
+        every neuron cell (encoder population included) must define
+        ``step_record_numpy``/``step_backward_numpy`` at or below the
+        class defining its ``step`` — recurrent state couples time steps,
+        so an untrusted cell disqualifies the whole fused backward.
+        Synaptic transforms are *not* gated here: untrusted ones fall back
+        to per-step Tensor mini-graphs inside the BPTT loop.  The decoder
+        and loss always run as a real (tiny) autograd head, so any
+        decoder is compatible.
+        """
+        if any(type(layer).step is not SpikingLayer.step for layer in self.layers):
+            return False
+        if type(self.readout).step is not SpikingReadout.step:
+            return False
+        for layer in self.layers:
+            if not (
+                _has_numpy_twin(layer.cell, "step", "step_record_numpy")
+                and _has_numpy_twin(layer.cell, "step", "step_backward_numpy")
+            ):
+                return False
+        if not _has_numpy_twin(self.readout.cell, "step", "step_numpy"):
+            return False
+        if not _has_numpy_twin(self.readout.cell, "step", "step_backward_numpy"):
+            return False
+        # Encoders delegating to an inner cell (ConstantCurrentLIFEncoder)
+        # are only as trustworthy as that cell.
+        encoder_cell = getattr(self.encoder, "cell", None)
+        if encoder_cell is not None and not (
+            _has_numpy_twin(encoder_cell, "step", "step_record_numpy")
+            and _has_numpy_twin(encoder_cell, "step", "step_backward_numpy")
+        ):
+            return False
+        return _has_numpy_twin(self.encoder, "step", "step_record_numpy") and (
+            _has_numpy_twin(self.encoder, "step", "step_backward_numpy")
+        )
+
+    def _decode_head(self, trace: list[np.ndarray], labels: np.ndarray):
+        """Decode + loss as a (tiny) autograd graph over the recorded trace.
+
+        Returns ``(loss, logits, g_trace)``.  Running the real decoder and
+        :func:`repro.tensor.functional.cross_entropy` over leaf tensors
+        reproduces the full graph's head exactly, so the per-step trace
+        gradients match what ``loss.backward()`` would deliver to each
+        readout membrane — for *any* decoder, with no twin required.
+        """
+        leaves = [Tensor(membrane, requires_grad=True) for membrane in trace]
+        logits = self.decoder(leaves)
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        # A leaf left without a gradient is *disconnected* from the loss in
+        # the head (e.g. all but the last step under LastMembraneDecoder);
+        # backward_pass uses that to reproduce the autograd path's
+        # None-vs-zero gradient distinction for structurally dead stages.
+        return loss, logits, [leaf.grad for leaf in leaves]
+
+    def fused_input_gradient(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Gradient of the cross-entropy loss w.r.t. the input pixels,
+        computed by the graph-free BPTT path.
+
+        Bitwise identical to differentiating :meth:`forward` through the
+        autograd engine (the contract tests/test_fused_backward.py
+        enforces), but the unrolled time loop never allocates a Tensor:
+        the recording forward reuses the compiled synapse plans and the
+        reverse sweep replays their backward twins.  Parameter gradients
+        are *not* accumulated (attack crafting discards them), which
+        additionally skips every weight-gradient GEMM.
+
+        Callers should check :meth:`backward_ready` first;
+        :func:`repro.attacks.base.input_gradient` does and falls back to
+        the autograd path otherwise.
+        """
+        images = np.asarray(images)
+        tape = bptt.record_forward(self, images)
+        _loss, _logits, g_trace = self._decode_head(tape.trace, labels)
+        gradient = bptt.backward_pass(
+            self, tape, g_trace, want_param_grads=False, want_input_grad=True
+        )
+        self.fused_backward_count += 1
+        return gradient if gradient is not None else np.zeros_like(images)
+
+    def fused_loss_backward(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """One graph-free training backward: loss value, logits, param grads.
+
+        Accumulates parameter gradients into ``param.grad`` (identically
+        to ``loss.backward()`` on the unrolled graph) and returns
+        ``(loss_value, logits)`` for bookkeeping.  The input-pixel
+        gradient is skipped — optimizer updates never need it.  Used by
+        :class:`repro.training.trainer.Trainer` when its config opts in.
+        """
+        images = np.asarray(images)
+        tape = bptt.record_forward(self, images)
+        loss, logits, g_trace = self._decode_head(tape.trace, labels)
+        bptt.backward_pass(
+            self, tape, g_trace, want_param_grads=True, want_input_grad=False
+        )
+        self.fused_backward_count += 1
+        return float(loss.data), logits.data
 
     def spike_counts(self, image: Tensor) -> list[Tensor]:
         """Diagnostic: per-layer total spike counts for one forward pass.

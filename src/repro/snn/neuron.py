@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.module import Module
-from repro.snn.surrogate import available_surrogates, spike_function
+from repro.snn.surrogate import available_surrogates, spike_function, surrogate_derivative
 from repro.tensor.tensor import Tensor, promote_scalar
 
 __all__ = ["LICell", "LIFCell", "LIFParameters", "LIFState", "LIState", "NumpyState"]
@@ -231,6 +231,108 @@ class LIFCell(Module):
         i_new = i_prev * decay + input_current
         return spikes, (i_new, v_new)
 
+    def step_record_numpy(
+        self, input_current: np.ndarray, state: NumpyState | None = None
+    ) -> tuple[np.ndarray, NumpyState, tuple]:
+        """:meth:`step_numpy` that also returns the BPTT backward context.
+
+        The context holds the surrogate pre-activation ``v_decayed - v_th``
+        and, for hard resets, the decayed membrane itself (the reset gate's
+        gradient needs it) — the minimal state :meth:`step_backward_numpy`
+        needs to replay this step in reverse.  Subclasses overriding
+        :meth:`step` must override this and :meth:`step_backward_numpy` to
+        match, or the fused BPTT path will refuse to run them.
+        """
+        if state is None:
+            i_prev = np.zeros_like(input_current)
+            v_prev = np.zeros_like(input_current)
+        else:
+            i_prev, v_prev = state
+        scale, v_leak, v_th, one, v_reset, reset_drop, decay = _promoted_constants(self)
+        # Same arithmetic as :meth:`step_numpy`, staged through reused
+        # scratch (`out=`) so the T-step recording loop allocates as few
+        # arrays as the state it must keep.
+        dv = v_leak - v_prev
+        dv += i_prev
+        dv *= scale
+        v_decayed = v_prev + dv
+        x = v_decayed - v_th
+        fired = x > 0
+        spikes = fired.astype(x.dtype)
+        if self.params.reset_mode == "hard":
+            v_new = np.subtract(one, fired, dtype=x.dtype)
+            v_new *= v_decayed
+            if v_reset != 0.0:
+                v_new += v_reset * spikes
+            ctx = (x, v_decayed)
+        else:
+            v_new = v_decayed - spikes * reset_drop
+            ctx = (x, None)
+        i_new = i_prev * decay
+        i_new += input_current
+        return spikes, (i_new, v_new), ctx
+
+    def step_backward_numpy(
+        self,
+        g_spikes: np.ndarray,
+        g_state: NumpyState | None,
+        ctx: tuple,
+    ) -> tuple[np.ndarray, NumpyState]:
+        """Reverse one time step of :meth:`step` without an autograd graph.
+
+        Parameters
+        ----------
+        g_spikes:
+            Loss gradient w.r.t. this step's spike output (from the
+            downstream synaptic transform).
+        g_state:
+            Loss gradient w.r.t. the *new* state ``(i, v)`` this step
+            produced, flowing back from the next time step; ``None`` at
+            the last step (the final state has no consumers).
+        ctx:
+            The context recorded by :meth:`step_record_numpy`.
+
+        Returns ``(g_input_current, (g_i_prev, g_v_prev))`` — the gradient
+        w.r.t. this step's synaptic input and w.r.t. the previous state.
+        The arithmetic mirrors the autograd closures of :meth:`step` term
+        for term (same promoted constants, same accumulation association),
+        so gradients stay bitwise identical to the Tensor path.
+        """
+        x, v_decayed = ctx
+        if g_state is None:
+            gi = np.zeros_like(x)
+            gv = np.zeros_like(x)
+        else:
+            gi, gv = g_state
+        scale, _v_leak, _v_th, one, v_reset, reset_drop, decay = _promoted_constants(self)
+        p = self.params
+        derivative = surrogate_derivative(x, method=p.surrogate, alpha=p.surrogate_alpha)
+        # The expressions below perform the Tensor closures' arithmetic with
+        # ``a + -(b)`` chains fused into ``a - b``, exact-zero products
+        # (v_reset=0) dropped, and temporaries reused in place — all
+        # IEEE-identical transformations, so gradients match the autograd
+        # path value for value.
+        if p.reset_mode == "hard":
+            g_x = gv * v_decayed
+            if v_reset != 0.0:
+                np.subtract(g_spikes + gv * v_reset, g_x, out=g_x)
+            else:
+                np.subtract(g_spikes, g_x, out=g_x)
+            g_x *= derivative
+            g_vd = np.subtract(one, x > 0, dtype=x.dtype)
+            g_vd *= gv
+            g_vd += g_x
+        else:
+            g_x = gv * reset_drop
+            np.subtract(g_spikes, g_x, out=g_x)
+            g_x *= derivative
+            g_vd = gv + g_x
+        g_add1 = g_vd * scale
+        g_v_prev = np.subtract(g_vd, g_add1, out=g_vd)
+        g_i_prev = gi * decay
+        g_i_prev += g_add1
+        return gi, (g_i_prev, g_v_prev)
+
     def forward(self, input_current: Tensor, state: LIFState | None = None):
         return self.step(input_current, state)
 
@@ -285,6 +387,31 @@ class LICell(Module):
         v_new = v_prev + dv
         i_new = i_prev * decay + input_current
         return v_new, (i_new, v_new)
+
+    def step_backward_numpy(
+        self, g_membrane: np.ndarray, g_i: np.ndarray | None
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Reverse one time step of :meth:`step` without an autograd graph.
+
+        The integrator is linear, so no forward context is needed.
+        ``g_membrane`` must already combine every gradient reaching this
+        step's membrane (the decoder contribution plus both recurrent
+        pieces, in the autograd path's accumulation order — see
+        :mod:`repro.snn.backward`); ``g_i`` is the gradient on the new
+        synaptic current from the next step (``None`` at the last step).
+
+        Returns ``(g_input_current, (g_i_prev, g_v_direct, g_v_leak))``.
+        The membrane gradient of the *previous* step is delivered as its
+        two autograd pieces — the direct carry and the leak term — because
+        the caller must interleave the decoder's trace contribution
+        between them to preserve the Tensor path's accumulation order.
+        """
+        if g_i is None:
+            g_i = np.zeros_like(g_membrane)
+        scale, _v_leak, _v_th, _one, _v_reset, _drop, decay = _promoted_constants(self)
+        g_add1 = g_membrane * scale
+        g_i_prev = g_add1 + g_i * decay
+        return g_i, (g_i_prev, g_membrane, -g_add1)
 
     def forward(self, input_current: Tensor, state: LIState | None = None):
         return self.step(input_current, state)

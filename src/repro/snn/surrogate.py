@@ -34,7 +34,13 @@ SurrogateFn = Callable[[np.ndarray, float], np.ndarray]
 
 
 def _superspike(x: np.ndarray, alpha: float) -> np.ndarray:
-    return 1.0 / np.square(1.0 + alpha * np.abs(x))
+    # 1 / (1 + alpha * |x|)^2, staged through one reused buffer.
+    out = np.abs(x)
+    out *= alpha
+    out += 1.0
+    np.square(out, out=out)
+    np.divide(1.0, out, out=out)
+    return out
 
 
 def _triangle(x: np.ndarray, alpha: float) -> np.ndarray:

@@ -346,7 +346,7 @@ def avg_pool2d(
 
 
 # --------------------------------------------------------------------------
-# Compiled synapse plans (graph-free forward twins)
+# Compiled synapse plans (graph-free forward and backward twins)
 # --------------------------------------------------------------------------
 #
 # A *plan* freezes everything about conv2d/pooling that depends only on the
@@ -357,9 +357,15 @@ def avg_pool2d(
 # so their outputs stay bitwise identical to the autograd path; parity is
 # enforced by tests/test_fused_plans.py.
 #
+# Each plan also carries the *backward* half of its op: the same arithmetic
+# the Tensor op's backward closure performs, applied to raw arrays.  The
+# fused BPTT path (repro.snn.backward) replays these per reverse time step
+# instead of building an autograd graph; parity with the closures is
+# enforced by tests/test_fused_backward.py.
+#
 # Plans return freshly allocated outputs (safe to retain), but their
 # internal scratch buffers are reused across calls — one plan instance must
-# not be shared between concurrently running forwards.
+# not be shared between concurrently running forwards (or backwards).
 
 
 class Conv2dPlan:
@@ -385,6 +391,7 @@ class Conv2dPlan:
                 f"input channels {shape[1]} do not match weight channels {weight_shape[1]}"
             )
         self.shape = shape
+        self.dtype = dtype
         n, c_in, h, w = shape
         _c_out, _, kh, kw = weight_shape
         self.sh, self.sw = _pair(stride)
@@ -404,6 +411,7 @@ class Conv2dPlan:
             (n, self.oh, self.ow, c_in, kh, kw), dtype=dtype
         )
         self._cols = self._cols6d.reshape(n * self.oh * self.ow, c_in * kh * kw)
+        self._grad_padded: np.ndarray | None = None
 
     def __call__(
         self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None
@@ -423,6 +431,73 @@ class Conv2dPlan:
         return np.ascontiguousarray(
             out.reshape(n, self.oh, self.ow, -1).transpose(0, 3, 1, 2)
         )
+
+    def _grad_as_matrix(self, g: np.ndarray) -> np.ndarray:
+        """Output gradient ``(N, C_out, OH, OW)`` as the matmul layout."""
+        return g.transpose(0, 2, 3, 1).reshape(
+            self.shape[0] * self.oh * self.ow, -1
+        )
+
+    def backward_input(self, g: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. the input: the col2im scatter of :func:`conv2d`.
+
+        Performs the exact arithmetic of the Tensor op's backward closure
+        (grad-column matmul, per-offset strided accumulation, padding
+        crop), reusing a zeroed padded scratch instead of allocating one
+        per call.  The returned array is freshly allocated (safe to
+        retain across reverse time steps).
+        """
+        n, c_in, h, w = self.shape
+        g_mat = self._grad_as_matrix(g)
+        w_mat = weight.reshape(weight.shape[0], -1)
+        grad_cols = g_mat @ w_mat  # (N*OH*OW, C*kh*kw)
+        grad_windows = grad_cols.reshape(
+            n, self.oh, self.ow, c_in, self.kh, self.kw
+        ).transpose(0, 3, 1, 2, 4, 5)
+        # Anchored to the *input* dtype, like the closure's zeros_like(padded):
+        # the strided += then downcasts each contribution exactly as the
+        # Tensor path does.
+        scratch = self._grad_padded
+        if scratch is None:
+            scratch = np.zeros(
+                (n, c_in, h + 2 * self.ph, w + 2 * self.pw), dtype=self.dtype
+            )
+            self._grad_padded = scratch
+        else:
+            scratch.fill(0.0)
+        for i in range(self.kh):
+            for j in range(self.kw):
+                scratch[
+                    :, :, i : i + self.oh * self.sh : self.sh,
+                    j : j + self.ow * self.sw : self.sw,
+                ] += grad_windows[:, :, :, :, i, j]
+        return scratch[:, :, self.ph : self.ph + h, self.pw : self.pw + w].copy()
+
+    def backward_weight(
+        self, g: np.ndarray, x: np.ndarray, weight_shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Gradient w.r.t. the filters, recomputing im2col from ``x``.
+
+        The im2col pass is pure data movement, so the recomputed columns
+        equal the forward's bit for bit and ``g_mat.T @ cols`` matches the
+        autograd closure exactly.  Reuses the plan's column scratch — call
+        only after the forward pass is complete.
+        """
+        n, _c_in, h, w = self.shape
+        if self._padded is None:
+            padded = x
+        else:
+            self._padded[:, :, self.ph : self.ph + h, self.pw : self.pw + w] = x
+            padded = self._padded
+        windows = _strided_windows(padded, self.kh, self.kw, self.sh, self.sw)
+        self._cols6d[...] = windows.transpose(0, 2, 3, 1, 4, 5)
+        g_mat = self._grad_as_matrix(g)
+        return (g_mat.T @ self._cols).reshape(weight_shape)
+
+    @staticmethod
+    def backward_bias(g: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. the bias (the closure's channel-sum)."""
+        return g.sum(axis=(0, 2, 3))
 
 
 class _Pool2dPlan:
@@ -484,9 +559,71 @@ class MaxPool2dPlan(_Pool2dPlan):
             np.maximum(out, x[:, :, rows, cols], out=out)
         return out
 
+    def backward(
+        self, g: np.ndarray, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Gradient w.r.t. the input, replaying the window argmax on ``x``.
+
+        The plan's pairwise-max forward never materialises argmax indices,
+        so the backward reconstructs the routing from the recorded input —
+        first window index wins ties, exactly like :func:`max_pool2d`'s
+        argmax (PyTorch convention).  When the windows do not overlap
+        (stride >= kernel) and the forward output ``out`` is supplied,
+        each input pixel receives at most one contribution and the routing
+        is a first-claim sweep over the window offsets against ``out`` —
+        no window materialisation, argmax or bincount needed; values are
+        identical (a pixel's single contribution survives the closure's
+        float64 bincount round-trip bit for bit).  Overlapping windows
+        replay the closure's argmax/bincount arithmetic verbatim.  As with
+        the forward, NaN inputs are outside the parity contract.
+        """
+        n, c, h, w = self.shape
+        if out is not None and self.sh >= self.kh and self.sw >= self.kw:
+            if self.oh * self.sh == h and self.ow * self.sw == w and (
+                self.sh == self.kh and self.sw == self.kw
+            ):
+                # Every input pixel belongs to exactly one window, so each
+                # is written exactly once below — no zero-fill needed.
+                grad_x = np.empty(self.shape, dtype=x.dtype)
+            else:
+                grad_x = np.zeros(self.shape, dtype=x.dtype)
+            claimed = np.empty(out.shape, dtype=bool)
+            for k, (rows, cols) in enumerate(self._slices):
+                is_max = x[:, :, rows, cols] == out
+                if k:
+                    is_max &= ~claimed
+                    claimed |= is_max
+                else:
+                    np.copyto(claimed, is_max)
+                grad_x[:, :, rows, cols] = g * is_max
+            return grad_x
+        windows = self._windows(x)
+        arg = windows.reshape(n, c, self.oh, self.ow, self.kh * self.kw).argmax(axis=-1)
+        ki, kj = np.divmod(arg, self.kw)
+        rows = np.arange(self.oh).reshape(1, 1, self.oh, 1) * self.sh + ki
+        cols = np.arange(self.ow).reshape(1, 1, 1, self.ow) * self.sw + kj
+        plane = (
+            np.arange(n).reshape(n, 1, 1, 1) * c + np.arange(c).reshape(1, c, 1, 1)
+        ) * (h * w)
+        flat = plane + rows * w + cols
+        grad_x = np.bincount(flat.ravel(), weights=g.ravel(), minlength=n * c * h * w)
+        return grad_x.reshape(n, c, h, w).astype(x.dtype, copy=False)
+
 
 class AvgPool2dPlan(_Pool2dPlan):
-    """Shape-compiled twin of :func:`avg_pool2d`'s forward."""
+    """Shape-compiled twin of :func:`avg_pool2d`'s forward and backward."""
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self._windows(x).mean(axis=(-2, -1))
+
+    def backward(self, g: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Gradient w.r.t. the input (the closure's uniform spread)."""
+        grad_x = np.zeros(self.shape, dtype=dtype)
+        contribution = g * (1.0 / (self.kh * self.kw))
+        for i in range(self.kh):
+            for j in range(self.kw):
+                grad_x[
+                    :, :, i : i + self.oh * self.sh : self.sh,
+                    j : j + self.ow * self.sw : self.sw,
+                ] += contribution
+        return grad_x

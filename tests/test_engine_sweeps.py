@@ -83,6 +83,28 @@ class TestSweepTasks:
             assert set(curve) == set(task.epsilons)
         assert not result.weights_from_cache
         assert result.elapsed_seconds > 0.0
+        # Per-phase breakdown: trained fresh, so all three phases ran and
+        # roughly account for the elapsed wall time.
+        assert set(result.phase_seconds) == {"train_s", "eval_s", "attack_s"}
+        assert all(value >= 0.0 for value in result.phase_seconds.values())
+        assert sum(result.phase_seconds.values()) <= result.elapsed_seconds
+
+    def test_phase_seconds_roundtrip_and_equality(self):
+        from repro.engine.sweep import SweepResult
+
+        result = SweepResult(
+            key="k", clean_accuracy=0.5, curves={"pgd": {0.5: 0.4}},
+            phase_seconds={"train_s": 1.5, "attack_s": 0.25},
+        )
+        clone = SweepResult.from_dict(result.as_dict())
+        assert clone.phase_seconds == result.phase_seconds
+        # Provenance: two scientifically identical results compare equal
+        # regardless of their timings.
+        other = SweepResult(
+            key="k", clean_accuracy=0.5, curves={"pgd": {0.5: 0.4}},
+            phase_seconds={"train_s": 99.0},
+        )
+        assert result == other
 
 
 class TestSpawnBackend:
@@ -410,6 +432,38 @@ class TestCacheCLI:
         entries = json.loads(capsys.readouterr().out)
         assert len(entries) == 6
         assert {e["kind"] for e in entries} == {"sweep", "weights"}
+
+    def test_inspect_surfaces_phase_timings(self, warm_cache, capsys):
+        assert main(
+            ["cache", "inspect", "--cache-dir", str(warm_cache), "--json"]
+        ) == 0
+        entries = json.loads(capsys.readouterr().out)
+        sweeps = [e for e in entries if e["kind"] == "sweep"]
+        for entry in sweeps:
+            timings = entry["timings"]
+            assert {"elapsed_s", "train_s", "eval_s", "attack_s"} <= set(timings)
+        # Weight archives carry no result payload, hence no timings.
+        assert all(
+            e["timings"] is None for e in entries if e["kind"] == "weights"
+        )
+        # The human-readable listing carries the same breakdown.
+        capsys.readouterr()
+        assert main(["cache", "inspect", "--cache-dir", str(warm_cache)]) == 0
+        text = capsys.readouterr().out
+        assert "train=" in text and "attack=" in text
+
+    def test_inspect_tolerates_malformed_timing_payload(self, warm_cache, capsys):
+        # One hand-edited/corrupted checkpoint must not abort the listing.
+        sweep = next(warm_cache.glob("sweep_*.json"))
+        payload = json.loads(sweep.read_text())
+        payload["result"]["phase_seconds"] = {"train_s": "1.2s"}
+        sweep.write_text(json.dumps(payload))
+        assert main(
+            ["cache", "inspect", "--cache-dir", str(warm_cache), "--json"]
+        ) == 0
+        entries = json.loads(capsys.readouterr().out)
+        broken = [e for e in entries if e["path"].endswith(sweep.name)]
+        assert broken and broken[0]["timings"] is None
 
     def test_clear_removes_everything(self, warm_cache, capsys):
         assert main(["cache", "clear", "--cache-dir", str(warm_cache)]) == 0
