@@ -15,8 +15,15 @@ Measures, on the default spiking LeNet of an experiment profile:
    and a K-epsilon PGD-10 robustness curve on both paths (identical
    attack outcomes asserted).
 
-Forward/sweep timings go to ``BENCH_pr3.json`` and gradient timings to
-``BENCH_pr5.json`` (repo root by default).  ``--check-fused`` skips the
+4. **Stacked grid execution** — the same cell task list through the
+   per-cell scheduler vs ``run_stacked_cell_tasks`` (K-variant
+   ``VariantStack`` fused passes), asserting every per-cell result
+   compares equal, at two scales: a K=5 headline grid and a cheap K=2
+   micro leg for CI.
+
+Forward/sweep timings go to ``BENCH_pr3.json``, gradient timings to
+``BENCH_pr5.json`` and stacked-grid timings to ``BENCH_pr6.json``
+(repo root by default).  ``--check-fused`` skips the
 timing and only runs the smoke guards: the profile's default spiking
 model must take the fused plan path end to end (full synapse-plan
 coverage, forward *and* backward counters advancing) — the CI job runs
@@ -24,7 +31,8 @@ this to catch silent fallback regressions.
 
 ``--check-regression`` measures fresh and compares the *speedup ratios*
 against the committed baseline reports: the planned-fused forward, the
-K-epsilon FGSM sweep, the fused input gradient and the PGD-10 curve must
+K-epsilon FGSM sweep, the fused input gradient, the PGD-10 curve and the
+K=5/K=2 stacked-grid ratios must
 each retain their advantage to within ``--tolerance`` (default 25 %).
 Ratios — not absolute seconds — are compared, so the guard is meaningful
 on CI hardware that is nothing like the machine that wrote the
@@ -36,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 import time
@@ -54,9 +63,15 @@ from repro.attacks.metrics import (  # noqa: E402
 )
 from repro.attacks.pgd import PGD  # noqa: E402
 from repro.data.dataset import ArrayDataset  # noqa: E402
+from repro.engine.job import ExplorationJobContext, build_cell_tasks  # noqa: E402
+from repro.engine.scheduler import run_cell_tasks  # noqa: E402
+from repro.engine.stacking import run_stacked_cell_tasks  # noqa: E402
 from repro.experiments.profiles import get_profile  # noqa: E402
 from repro.models import build_model  # noqa: E402
+from repro.robustness.config import ExplorationConfig  # noqa: E402
+from repro.snn.neuron import LIFParameters  # noqa: E402
 from repro.tensor.tensor import Tensor, no_grad  # noqa: E402
+from repro.training.trainer import TrainingConfig  # noqa: E402
 
 EPSILONS = (0.0, 0.1, 0.25, 0.5, 1.0)
 PGD_STEPS = 10
@@ -275,6 +290,131 @@ def run_gradient_benchmarks(
     }
 
 
+def _stacked_grid_bench(
+    profile,
+    v_thresholds: tuple[float, ...],
+    time_windows: tuple[int, ...],
+    stack: int,
+    train_n: int,
+    test_n: int,
+    epochs: int,
+) -> dict:
+    """One stacked-vs-per-cell grid measurement (parity asserted first).
+
+    Runs the *same* cell task list through ``run_cell_tasks`` and through
+    ``run_stacked_cell_tasks(stack=K)`` on synthetic data, requires every
+    per-cell result to compare equal (the dataclass equality covers all
+    science fields), and reports both wall-clocks.  Best-of-two per path
+    (the first pass doubles as cache/allocator warm-up), because the
+    ratio sits near the regression threshold and a single sample is too
+    noisy to guard on.
+    """
+    rng = np.random.default_rng(0)
+    size = profile.image_size
+    train = ArrayDataset(
+        rng.random((train_n, 1, size, size), dtype=np.float32),
+        rng.integers(0, 10, train_n),
+    )
+    test = ArrayDataset(
+        rng.random((test_n, 1, size, size), dtype=np.float32),
+        rng.integers(0, 10, test_n),
+    )
+
+    def factory(v_th, time_window, seed):
+        return build_model(
+            profile.snn_model,
+            input_size=size,
+            time_steps=int(time_window),
+            lif_params=LIFParameters(v_th=float(v_th)),
+            rng=seed,
+        )
+
+    config = ExplorationConfig(
+        v_thresholds=v_thresholds,
+        time_windows=time_windows,
+        epsilons=(0.5, 1.0),
+        accuracy_threshold=0.0,  # every cell reaches the attack phase
+        attack_steps=3,
+        # Small batches keep the measurement in the regime stacking helps:
+        # many short time loops whose per-step dispatch overhead the fused
+        # K-lane pass amortizes.  Large batches are GEMM-bound and stacking
+        # is parity-neutral there anyway.
+        attack_batch_size=8,
+        training=TrainingConfig(
+            epochs=epochs, batch_size=8, eval_batch_size=8, seed=11
+        ),
+        seed=7,
+    )
+    tasks = build_cell_tasks(config)
+
+    per_cell_s = math.inf
+    for _ in range(2):
+        context = ExplorationJobContext(factory, train, test, config)
+        start = time.perf_counter()
+        per_cell, _stats = run_cell_tasks(context, tasks)
+        per_cell_s = min(per_cell_s, time.perf_counter() - start)
+
+    stacked_s = math.inf
+    for _ in range(2):
+        context = ExplorationJobContext(factory, train, test, config)
+        start = time.perf_counter()
+        stacked, _stats = run_stacked_cell_tasks(context, tasks, stack=stack)
+        stacked_s = min(stacked_s, time.perf_counter() - start)
+
+    parity = all(a == b for a, b in zip(per_cell, stacked))
+    return {
+        "stack": stack,
+        "cells": len(tasks),
+        "v_thresholds": list(v_thresholds),
+        "time_windows": list(time_windows),
+        "train_samples": train_n,
+        "test_samples": test_n,
+        "epochs": epochs,
+        "per_cell_s": per_cell_s,
+        "stacked_s": stacked_s,
+        "speedup": per_cell_s / stacked_s,
+        "results_identical": parity,
+    }
+
+
+def run_stacked_benchmarks(profile) -> dict:
+    """Stacked grid execution benches (the BENCH_pr6 payload).
+
+    Two scales: ``stacked_grid_smoke`` is the headline K=5 measurement
+    (a 10-cell ragged-T grid through 5-cell stacks), and
+    ``stacked_grid_micro`` is the cheap K=2 leg CI re-measures under
+    ``--check-regression``.
+    """
+    smoke = _stacked_grid_bench(
+        profile,
+        v_thresholds=(0.25, 0.5, 0.75, 1.0, 1.25),
+        time_windows=(8, 10),
+        stack=5,
+        train_n=48,
+        test_n=24,
+        epochs=1,
+    )
+    micro = _stacked_grid_bench(
+        profile,
+        v_thresholds=(0.5, 1.0),
+        time_windows=(6,),
+        stack=2,
+        train_n=24,
+        test_n=12,
+        epochs=1,
+    )
+    return {
+        "profile": profile.name,
+        "model": profile.snn_model,
+        "stacked_grid_smoke": smoke,
+        "stacked_grid_micro": micro,
+        "parity": {
+            "smoke_results_identical": smoke.pop("results_identical"),
+            "micro_results_identical": micro.pop("results_identical"),
+        },
+    }
+
+
 FORWARD_CHECKS = (
     (
         "planned-fused forward speedup vs PR1 fused loop",
@@ -299,6 +439,11 @@ GRADIENT_CHECKS = (
         f"K={len(EPSILONS)} PGD-{PGD_STEPS} curve speedup vs autograd path",
         ("pgd10_curve", "speedup"),
     ),
+)
+
+STACKED_CHECKS = (
+    ("K=5 stacked grid speedup vs per-cell", ("stacked_grid_smoke", "speedup")),
+    ("K=2 stacked grid speedup vs per-cell", ("stacked_grid_micro", "speedup")),
 )
 
 
@@ -350,6 +495,10 @@ def main() -> int:
         help="gradient-bench report destination",
     )
     parser.add_argument(
+        "--stacked-out", default=str(ROOT / "BENCH_pr6.json"),
+        help="stacked-grid bench report destination",
+    )
+    parser.add_argument(
         "--time-steps", type=int, default=16, help="time window of the bench model"
     )
     parser.add_argument(
@@ -377,6 +526,11 @@ def main() -> int:
         "--gradient-baseline",
         default=str(ROOT / "BENCH_pr5.json"),
         help="gradient baseline for --check-regression",
+    )
+    parser.add_argument(
+        "--stacked-baseline",
+        default=str(ROOT / "BENCH_pr6.json"),
+        help="stacked-grid baseline for --check-regression",
     )
     parser.add_argument(
         "--tolerance",
@@ -413,6 +567,13 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    stacked_report = run_stacked_benchmarks(profile)
+    if not all(stacked_report["parity"].values()):
+        print(
+            f"FAIL: stacked parity violated: {stacked_report['parity']}",
+            file=sys.stderr,
+        )
+        return 1
     if args.check_regression:
         # Guard mode: compare ratios against the committed baselines and
         # leave the baseline files untouched.
@@ -423,12 +584,21 @@ def main() -> int:
             args.tolerance,
             checks=GRADIENT_CHECKS,
         )
+        problems += check_regression(
+            stacked_report,
+            Path(args.stacked_baseline),
+            args.tolerance,
+            checks=STACKED_CHECKS,
+        )
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1 if problems else 0
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     Path(args.gradient_out).write_text(
         json.dumps(gradient_report, indent=2) + "\n"
+    )
+    Path(args.stacked_out).write_text(
+        json.dumps(stacked_report, indent=2) + "\n"
     )
     forward = report["forward"]
     curve = report["fgsm_curve"]
@@ -453,7 +623,19 @@ def main() -> int:
         f"{pgd['autograd_s']:.3f}s, fused {pgd['fused_s']:.3f}s "
         f"({pgd['speedup']:.2f}x)"
     )
-    print(f"reports written to {args.out} and {args.gradient_out}")
+    for label, leg in (
+        ("stacked grid (K=5)", stacked_report["stacked_grid_smoke"]),
+        ("stacked grid (K=2 micro)", stacked_report["stacked_grid_micro"]),
+    ):
+        print(
+            f"{label}: per-cell {leg['per_cell_s']:.3f}s, "
+            f"stacked {leg['stacked_s']:.3f}s ({leg['speedup']:.2f}x, "
+            f"{leg['cells']} cells)"
+        )
+    print(
+        f"reports written to {args.out}, {args.gradient_out} "
+        f"and {args.stacked_out}"
+    )
     return 0
 
 

@@ -14,7 +14,9 @@ stripped first:
 * ``elapsed_seconds`` / ``phase_seconds`` — wall-clock is not science;
 * ``worker`` — process names differ per host/pool;
 * ``engine`` — scheduler accounting (jobs, cached/computed split, shard);
-* ``weights_reused`` / ``manifest_path`` — cache-warmth bookkeeping.
+* ``weights_reused`` / ``manifest_path`` — cache-warmth bookkeeping;
+* ``stack_size`` / ``stack_index`` — how a cell was packed into a
+  ``--stack`` fused pass; stacked runs are bitwise identical per cell.
 
 Exits 0 when the canonical forms are identical, 1 with a diff summary
 otherwise, 2 on unreadable inputs.
@@ -29,7 +31,7 @@ from pathlib import Path
 
 VOLATILE_KEYS = frozenset(
     {"elapsed_seconds", "phase_seconds", "worker", "workers", "engine",
-     "weights_reused", "manifest_path"}
+     "weights_reused", "manifest_path", "stack_size", "stack_index"}
 )
 
 

@@ -591,21 +591,40 @@ def cache_stats(directory: str | Path, fingerprint: str | None = None) -> dict:
     big is this experiment's cache" in a shared directory.  Returns a
     JSON-friendly dict — the payload of
     ``python -m repro.experiments cache stats --json``.
+
+    The ``timings`` section sums the per-phase wall-clock breakdown
+    (``train_s`` / ``attack_s`` / ``eval_s`` / ``elapsed_s``) across all
+    result checkpoints that recorded one (``timed_entries`` of them) —
+    the aggregate the cost-ordered scheduler and the BENCH trajectories
+    read to see where a whole cache directory's compute went.
     """
     entries = [e for e in scan_cache_dir(directory) if fingerprint_matches(e, fingerprint)]
     by_kind: dict[str, dict[str, int]] = {}
     by_fingerprint: dict[str, int] = {}
+    timing_totals: dict[str, float] = {}
+    timed_entries = 0
     for entry in entries:
         bucket = by_kind.setdefault(entry.kind, {"entries": 0, "bytes": 0})
         bucket["entries"] += 1
         bucket["bytes"] += entry.size_bytes
         by_fingerprint[entry.fingerprint] = by_fingerprint.get(entry.fingerprint, 0) + 1
+        timings = entry_timings(entry)
+        if timings:
+            timed_entries += 1
+            for key, value in timings.items():
+                timing_totals[key] = timing_totals.get(key, 0.0) + value
     return {
         "directory": str(directory),
         "entries": len(entries),
         "total_bytes": sum(e.size_bytes for e in entries),
         "by_kind": by_kind,
         "by_fingerprint": dict(sorted(by_fingerprint.items())),
+        "timings": {
+            "timed_entries": timed_entries,
+            "totals": {
+                key: round(value, 3) for key, value in sorted(timing_totals.items())
+            },
+        },
     }
 
 

@@ -1,0 +1,150 @@
+"""Cost-ordered scheduling: run the longest tasks first.
+
+Grid cells and sweep variants have wildly skewed costs (cell wall time is
+roughly linear in the time window ``T``), so dispatching them in declared
+grid order strands wall-clock at the end of a schedule: a worker — or a
+variant stack — picks up a ``T=64`` cell last and everyone else idles.
+Longest-first ordering is the classic LPT bound for this.
+
+The cost model is empirical where possible: completed checkpoints in a
+cache directory record per-cell ``elapsed_seconds``/``phase_seconds``, so
+a resumed or re-swept run orders by *measured* cost.  Tasks with no
+history fall back to a seconds-per-timestep rate estimated from whatever
+history exists, and to plain ``T``-descending when the directory is cold
+— the documented fallback, since cost is dominated by the time loop.
+
+Execution order never changes results: every task carries its own derived
+seeds and the scheduler returns results in declared task order, so
+reordering here only moves wall-clock, never science.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.engine.cache import scan_cache_dir
+
+__all__ = [
+    "cached_cell_costs",
+    "cached_sweep_costs",
+    "cell_cost_estimator",
+    "order_cell_tasks",
+    "order_sweep_tasks",
+]
+
+
+def _checkpoint_cost(path: Path, value_key: str) -> tuple[dict, float] | None:
+    """``(task_payload, seconds)`` recorded in one result checkpoint."""
+    try:
+        payload = json.loads(path.read_text())
+        task = payload.get("task")
+        value = payload.get(value_key)
+        if not isinstance(task, dict) or not isinstance(value, dict):
+            return None
+        elapsed = float(value.get("elapsed_seconds", 0.0))
+        if elapsed <= 0.0:
+            phases = value.get("phase_seconds")
+            if isinstance(phases, dict):
+                elapsed = float(sum(float(v) for v in phases.values()))
+        if elapsed <= 0.0:
+            return None
+        return task, elapsed
+    except (OSError, TypeError, ValueError):
+        return None
+
+
+def cached_cell_costs(directory: str | Path) -> dict[tuple[float, int], float]:
+    """Measured seconds per ``(v_th, time_window)`` from cell checkpoints.
+
+    Entries from any fingerprint count — a cost model does not need the
+    exact same config, just the same hardware-and-architecture regime.
+    Newer checkpoints win when several record the same combination.
+    """
+    costs: dict[tuple[float, int], float] = {}
+    entries = [e for e in scan_cache_dir(directory) if e.kind == "cell"]
+    for entry in sorted(entries, key=lambda e: e.modified):
+        record = _checkpoint_cost(entry.path, "cell")
+        if record is None:
+            continue
+        task, elapsed = record
+        try:
+            key = (float(task["v_th"]), int(task["time_window"]))
+        except (KeyError, TypeError, ValueError):
+            continue
+        costs[key] = elapsed
+    return costs
+
+
+def cached_sweep_costs(directory: str | Path) -> dict[str, float]:
+    """Measured seconds per variant ``key`` from sweep checkpoints."""
+    costs: dict[str, float] = {}
+    entries = [e for e in scan_cache_dir(directory) if e.kind == "sweep"]
+    for entry in sorted(entries, key=lambda e: e.modified):
+        record = _checkpoint_cost(entry.path, "result")
+        if record is None:
+            continue
+        task, elapsed = record
+        key = task.get("key")
+        if isinstance(key, str):
+            costs[key] = elapsed
+    return costs
+
+
+def cell_cost_estimator(costs: dict[tuple[float, int], float]):
+    """``task -> estimated seconds`` from measured costs.
+
+    A task with history costs what it cost; one without is priced at the
+    median seconds-per-timestep of the history times its own ``T``; with
+    no history at all the estimate is ``T`` itself (pure ``T``-descending
+    ordering).
+    """
+    rates = sorted(
+        seconds / steps for (_v, steps), seconds in costs.items() if steps > 0
+    )
+    rate = rates[len(rates) // 2] if rates else None
+
+    def estimate(task) -> float:
+        known = costs.get((float(task.v_th), int(task.time_window)))
+        if known is not None:
+            return known
+        steps = int(task.time_window)
+        return rate * steps if rate is not None else float(steps)
+
+    return estimate
+
+
+def order_cell_tasks(
+    tasks: Sequence, costs: dict[tuple[float, int], float] | None
+) -> list:
+    """Grid-cell tasks, most expensive first (deterministic tie-break)."""
+    estimate = cell_cost_estimator(costs or {})
+    return sorted(tasks, key=lambda task: (-estimate(task), task.index))
+
+
+def _sweep_time_steps(task) -> int:
+    for name, value in getattr(task, "params", ()):
+        if name in ("time_steps", "time_window", "T"):
+            try:
+                return int(value)
+            except (TypeError, ValueError):
+                return 0
+    return 0
+
+
+def order_sweep_tasks(tasks: Sequence, costs: dict[str, float] | None) -> list:
+    """Sweep tasks, most expensive first.
+
+    Fallback for unmeasured variants is their ``time_steps`` build
+    parameter (0 when absent), then declared order.
+    """
+    costs = costs or {}
+
+    def estimate(task) -> float:
+        known = costs.get(task.key)
+        if known is not None:
+            return known
+        return float(_sweep_time_steps(task))
+
+    return sorted(tasks, key=lambda task: (-estimate(task), task.index))

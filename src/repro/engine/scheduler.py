@@ -193,6 +193,7 @@ def run_tasks(
     start_method: str = "auto",
     context_spec: ContextSpec | None = None,
     shard: ShardSpec | None = None,
+    pending_order: Callable[[list], list] | None = None,
 ) -> tuple[list, ScheduleStats]:
     """Execute ``tasks`` and return ``(results, stats)`` in task order.
 
@@ -238,6 +239,13 @@ def run_tasks(
         Optional :class:`~repro.engine.shard.ShardSpec` restricting this
         invocation to its deterministic slice of the task list
         (multi-host runs: one shard per host, caches merged afterwards).
+    pending_order:
+        Optional reordering of the to-be-computed tasks before dispatch
+        (e.g. :func:`repro.engine.costs.order_cell_tasks` for
+        longest-first scheduling).  Execution order only: results are
+        still returned — and checkpointed — in declared task order, and
+        every task carries its own seeds, so reordering moves wall-clock,
+        never science.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -297,6 +305,14 @@ def run_tasks(
                 "computing all %d tasks",
                 len(tasks),
             )
+
+    if pending_order is not None:
+        reordered = pending_order(list(pending))
+        if sorted(task.index for task in reordered) != sorted(
+            task.index for task in pending
+        ):
+            raise ValueError("pending_order must permute the pending tasks")
+        pending = reordered
 
     computed_workers: set[str] = set()
     cache_write_failed = False
@@ -377,6 +393,7 @@ def run_cell_tasks(
     start_method: str = "auto",
     context_spec: ContextSpec | None = None,
     shard: ShardSpec | None = None,
+    pending_order: Callable[[list], list] | None = None,
 ) -> tuple[list, ScheduleStats]:
     """Grid-cell convenience wrapper: :func:`run_tasks` with
     :func:`~repro.engine.job.run_cell_task` as the job function.
@@ -397,4 +414,5 @@ def run_cell_tasks(
         start_method=start_method,
         context_spec=context_spec,
         shard=shard,
+        pending_order=pending_order,
     )

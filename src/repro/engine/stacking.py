@@ -1,0 +1,591 @@
+"""K-stacked cell execution: one fused pass trains and attacks K grid cells.
+
+:func:`run_stacked_cell_tasks` is the stacked sibling of
+:func:`repro.engine.scheduler.run_cell_tasks`: it packs compatible grid
+cells into :class:`~repro.snn.stack.VariantStack` groups and drives each
+group through *stacked mirrors* of the phases of
+:func:`repro.engine.job.run_cell_task` — one folded forward/backward per
+training batch instead of K, one folded PGD step per attack iteration
+instead of K.
+
+Exactness contract
+------------------
+Every per-cell value — the :class:`~repro.robustness.results.CellResult`
+fields and the archived weights — is bitwise identical to the unstacked
+path.  The mirrors therefore reproduce the unstacked phases *operation
+for operation* per lane:
+
+* training replays :class:`repro.training.trainer.Trainer` exactly: one
+  :class:`~repro.data.dataset.DataLoader` per lane seeded with
+  ``cell_seed & 0x7FFFFFFF``, per-lane Adam optimizers stepping on the
+  gradients the folded backward accumulated into each member's live
+  parameters, per-lane gradient clipping, and the same diverged-loss
+  semantics (a non-finite loss stops that lane *before* its optimizer
+  step; the stack keeps driving the other lanes);
+* evaluation replays ``Trainer.evaluate``'s chunking and argmax;
+* the security sweep replays
+  :func:`repro.attacks.metrics.evaluate_attack_sweep`'s batch loop in the
+  same order — clean predictions first (kept even though their values are
+  unused, so stochastic encoders consume their rng streams identically),
+  then every ε crafted, then every ε predicted — with PGD's per-step
+  arithmetic running fold-wide and its random starts drawn per lane from
+  that lane's own seeded attack.
+
+Cells the stack cannot serve fall back to the unstacked job function:
+weight-cache hits (their training is a cache read, not a fused pass),
+variants rejected by :func:`~repro.snn.stack.stack_compatibility`, and
+attack configurations the stacked crafting does not mirror (anything but
+untargeted PGD with lane-uniform hyper-parameters).  One untrusted
+variant disqualifies only its own cell, never the stack.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import replace
+from multiprocessing import current_process
+
+import numpy as np
+
+from repro.attacks.base import shares_clean_gradient
+from repro.attacks.pgd import PGD
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.engine.cache import archive_weights
+from repro.engine.costs import cached_cell_costs, order_cell_tasks
+from repro.engine.job import CellTask, ExplorationJobContext, run_cell_task
+from repro.engine.scheduler import ProgressCallback, ScheduleStats, run_cell_tasks
+from repro.engine.shard import ShardSpec
+from repro.nn.module import Module
+from repro.optim.adam import Adam
+from repro.robustness.results import CellResult
+from repro.robustness.security import robustness_curve
+from repro.snn.stack import VariantStack, stack_compatibility
+from repro.training.metrics import accuracy
+from repro.training.trainer import TrainingConfig
+from repro.utils.logging import get_logger
+
+__all__ = ["pack_stacks", "run_stacked_cell_tasks", "run_stacked_group"]
+
+_logger = get_logger("engine")
+
+
+# -- stacked training (mirror of Trainer.fit) ----------------------------------
+
+
+def _clip_lane_gradients(optimizer: Adam, max_norm: float) -> None:
+    """Per-lane twin of ``Trainer._clip_gradients`` (same arithmetic)."""
+    grads = [p.grad for p in optimizer.parameters if p.grad is not None]
+    if not grads:
+        return
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for grad in grads:
+            grad *= scale
+
+
+def _train_stacked(
+    stack: VariantStack,
+    trainings: Sequence[TrainingConfig],
+    train_set: ArrayDataset,
+) -> list[bool]:
+    """Train every lane of ``stack`` at once; returns per-lane diverged flags.
+
+    Mirrors ``Trainer.fit``/``_run_epoch`` per lane: the loaders are
+    created once (their per-epoch reshuffles must advance exactly as the
+    unstacked loader's would), and a lane whose loss goes non-finite is
+    deactivated *without* applying that step — the unstacked path raises
+    ``TrainingError`` before ``optimizer.step()`` — leaving its weights
+    exactly where the unstacked run would have abandoned them.
+    """
+    shared = trainings[0]
+    shared.validate()
+    loaders = [
+        DataLoader(
+            train_set,
+            batch_size=training.batch_size,
+            shuffle=training.shuffle,
+            seed=training.seed,
+        )
+        for training in trainings
+    ]
+    optimizers = [
+        Adam(
+            member.parameters(),
+            lr=training.learning_rate,
+            weight_decay=training.weight_decay,
+        )
+        for member, training in zip(stack.members, trainings)
+    ]
+    active = [True] * stack.k
+    diverged = [False] * stack.k
+    for _epoch in range(shared.epochs):
+        if not any(active):
+            break
+        for member, lane_active in zip(stack.members, active):
+            if lane_active:
+                member.train()
+        for batches in zip(*loaders):
+            if not any(active):
+                break
+            folded = stack.fold([images for images, _labels in batches])
+            labels = [lane_labels for _images, lane_labels in batches]
+            for lane, optimizer in enumerate(optimizers):
+                if active[lane]:
+                    optimizer.zero_grad()
+            outcomes = stack.fused_loss_backward(
+                folded, labels, param_lanes=list(active)
+            )
+            for lane, (loss_value, _logits) in enumerate(outcomes):
+                if active[lane] and not np.isfinite(loss_value):
+                    active[lane] = False
+                    diverged[lane] = True
+            for lane, optimizer in enumerate(optimizers):
+                if not active[lane]:
+                    continue
+                if shared.max_grad_norm is not None:
+                    _clip_lane_gradients(optimizer, shared.max_grad_norm)
+                optimizer.step()
+    return diverged
+
+
+def _evaluate_stacked(
+    stack: VariantStack, dataset: ArrayDataset, eval_batch_size: int
+) -> list[float]:
+    """Per-lane clean accuracy; mirrors ``Trainer.evaluate``'s chunking."""
+    for member in stack.members:
+        member.eval()
+    predictions: list[list[np.ndarray]] = [[] for _ in range(stack.k)]
+    for start in range(0, len(dataset), eval_batch_size):
+        chunk = dataset.images[start : start + eval_batch_size]
+        logits = stack.forward_logits(stack.fold([chunk] * stack.k))
+        for lane in range(stack.k):
+            predictions[lane].append(logits[lane].argmax(axis=1))
+    return [
+        accuracy(
+            np.concatenate(lane_predictions)
+            if lane_predictions
+            else np.empty(0, dtype=np.int64),
+            dataset.labels,
+        )
+        for lane_predictions in predictions
+    ]
+
+
+# -- stacked security sweep (mirror of evaluate_attack_sweep + PGD) ------------
+
+
+def _pgd_lanes_stackable(attack_lanes: Sequence[Sequence]) -> bool:
+    """Whether the per-lane attack lists may run as one folded crafting.
+
+    The fold-wide step arithmetic assumes untargeted PGD exactly (a
+    subclass may have changed ``_perturb``) with every hyper-parameter
+    the folded expressions share — ε, step count, step size, random
+    start, clip box — equal across lanes at each sweep point.  Only the
+    rng (the per-cell attack seed) may differ; random starts are drawn
+    per lane.
+    """
+    for budget_attacks in zip(*attack_lanes):
+        first = budget_attacks[0]
+        for attack in budget_attacks:
+            if type(attack) is not PGD or attack.targeted:
+                return False
+            if (
+                attack.epsilon,
+                attack.steps,
+                attack.alpha,
+                attack.random_start,
+                attack.clip_min,
+                attack.clip_max,
+            ) != (
+                first.epsilon,
+                first.steps,
+                first.alpha,
+                first.random_start,
+                first.clip_min,
+                first.clip_max,
+            ):
+                return False
+    return True
+
+
+def _craft_pgd_stacked(
+    stack: VariantStack,
+    attacks: Sequence[PGD],
+    folded: np.ndarray,
+    x: np.ndarray,
+    labels: Sequence[np.ndarray],
+    clean_gradient: np.ndarray | None,
+) -> np.ndarray:
+    """Folded twin of ``PGD.generate``/``generate_shared`` at one budget.
+
+    ``attacks`` holds one lane's attack per stack lane (equal
+    hyper-parameters, per-lane rngs).  Random-start noise is drawn per
+    lane — in lane order, one draw per batch, exactly as the unstacked
+    sweep consumes each attack's stream — and the step/projection
+    arithmetic then runs fold-wide, which is elementwise and therefore
+    per-lane bitwise identical to the unstacked loop.
+    """
+    shared = attacks[0]
+    if shared.epsilon == 0.0:
+        return folded.copy()
+    if shared.random_start:
+        current = stack.fold(
+            [
+                attack.project(
+                    x,
+                    x
+                    + attack._rng.uniform(
+                        -attack.epsilon, attack.epsilon, size=x.shape
+                    ).astype(x.dtype),
+                )
+                for attack in attacks
+            ]
+        )
+        first_gradient = None
+    else:
+        current = folded.copy()
+        first_gradient = (
+            clean_gradient
+            if clean_gradient is not None and shares_clean_gradient(shared)
+            else None
+        )
+    for step in range(shared.steps):
+        if step == 0 and first_gradient is not None:
+            gradient = first_gradient
+        else:
+            gradient = stack.fused_input_gradient(current, labels)
+        current = current + shared._gradient_sign * shared.alpha * np.sign(gradient)
+        current = shared.project(folded, current)
+    # generate()/generate_shared() project once more after _perturb.
+    return shared.project(folded, current)
+
+
+def _stacked_attack_sweep(
+    stack: VariantStack,
+    attack_lanes: Sequence[Sequence[PGD]],
+    dataset: ArrayDataset,
+    batch_size: int,
+) -> list[list[float]]:
+    """Per-lane robustness fractions, one folded sweep for all lanes.
+
+    Mirrors the batch loop of
+    :func:`repro.attacks.metrics.evaluate_attack_sweep` in execution
+    order: clean predictions, the shared clean gradient (when any budget
+    reuses it), *all* budgets crafted, then all budgets predicted.  The
+    clean forward's values are unused here (cell results only need the
+    adversarial accuracies) but the pass still runs so lanes with
+    stochastic encoders consume their rng streams exactly as the
+    unstacked sweep would.  Perturbation norms are skipped — pure
+    rng-free numpy the cell result never reads.
+    """
+    for member in stack.members:
+        member.eval()
+    images, all_labels = dataset.images, dataset.labels
+    n = len(images)
+    budgets = len(attack_lanes[0])
+    need_gradient = any(
+        shares_clean_gradient(attack) for lane in attack_lanes for attack in lane
+    )
+    adv_correct = [[0] * budgets for _ in range(stack.k)]
+    for start in range(0, n, batch_size):
+        x = images[start : start + batch_size]
+        y = all_labels[start : start + batch_size]
+        folded = stack.fold([x] * stack.k)
+        labels = [y] * stack.k
+        stack.forward_logits(folded)  # clean predictions (rng-stream parity)
+        gradient = (
+            stack.fused_input_gradient(folded, labels) if need_gradient else None
+        )
+        crafted = [
+            _craft_pgd_stacked(
+                stack,
+                [lane[index] for lane in attack_lanes],
+                folded,
+                x,
+                labels,
+                gradient,
+            )
+            for index in range(budgets)
+        ]
+        for index in range(budgets):
+            logits = stack.forward_logits(crafted[index])
+            for lane in range(stack.k):
+                adv_correct[lane][index] += int((logits[lane].argmax(axis=1) == y).sum())
+    return [[correct / n for correct in lane] for lane in adv_correct]
+
+
+# -- one stacked group ---------------------------------------------------------
+
+
+def run_stacked_group(
+    context: ExplorationJobContext,
+    tasks: Sequence[CellTask],
+    models: Sequence[Module],
+) -> list[CellResult]:
+    """Evaluate a compatible group of cells through one variant stack.
+
+    The stacked sibling of :func:`repro.engine.job.run_cell_task`: same
+    phases, same per-cell values, one folded pass.  ``models`` are the
+    freshly built (untrained) members, one per task.  Group wall clock is
+    split evenly across lanes in the per-cell ``phase_seconds`` — the
+    fused pass genuinely amortises the work, so "this cell's share" is
+    the honest per-cell cost.
+    """
+    start = time.perf_counter()
+    config = context.config
+    k = len(tasks)
+    stack = VariantStack(models)
+    trainings = [
+        replace(config.training, seed=task.cell_seed & 0x7FFFFFFF) for task in tasks
+    ]
+    train_diverged = _train_stacked(stack, trainings, context.train_set)
+    accuracies = _evaluate_stacked(
+        stack, context.test_set, config.training.eval_batch_size
+    )
+    clean = [
+        0.0 if diverged else acc for diverged, acc in zip(train_diverged, accuracies)
+    ]
+    learnable = [acc >= config.accuracy_threshold for acc in clean]
+    for lane, task in enumerate(tasks):
+        if not train_diverged[lane]:
+            # Diverged weights are useless for re-sweeps; don't archive them.
+            archive_weights(
+                context.weight_cache,
+                task.weight_key,
+                task.cell_seed,
+                models[lane].state_dict(),
+                {"clean_accuracy": clean[lane]},
+            )
+    train_phase = time.perf_counter() - start
+
+    attacked = [lane for lane in range(k) if learnable[lane]]
+    robustness: list[dict[float, float]] = [{} for _ in range(k)]
+    attack_phase = 0.0
+    if attacked:
+        attack_start = time.perf_counter()
+        epsilons = [float(epsilon) for epsilon in config.epsilons]
+        attack_lanes = [
+            [
+                config.build_attack(epsilon, seed=tasks[lane].attack_seed)
+                for epsilon in epsilons
+            ]
+            for lane in attacked
+        ]
+        stacked_attack = len(attacked) > 1 and _pgd_lanes_stackable(attack_lanes)
+        if stacked_attack:
+            try:
+                attack_stack = VariantStack([models[lane] for lane in attacked])
+            except ValueError:
+                stacked_attack = False
+        if stacked_attack:
+            fractions = _stacked_attack_sweep(
+                attack_stack, attack_lanes, context.test_set, config.attack_batch_size
+            )
+            for position, lane in enumerate(attacked):
+                robustness[lane] = dict(zip(epsilons, fractions[position]))
+        else:
+            for lane in attacked:
+                task = tasks[lane]
+                curve = robustness_curve(
+                    models[lane],
+                    context.test_set,
+                    config.epsilons,
+                    lambda eps, seed=task.attack_seed: config.build_attack(
+                        eps, seed=seed
+                    ),
+                    label=f"(Vth={task.v_th:g}, T={task.time_window})",
+                    batch_size=config.attack_batch_size,
+                )
+                robustness[lane] = dict(zip(curve.epsilons, curve.robustness))
+        attack_phase = time.perf_counter() - attack_start
+
+    results: list[CellResult] = []
+    attack_share = attack_phase / len(attacked) if attacked else 0.0
+    for lane, task in enumerate(tasks):
+        phase_seconds = {"train_s": train_phase / k}
+        if learnable[lane]:
+            phase_seconds["attack_s"] = attack_share
+        results.append(
+            CellResult(
+                v_th=task.v_th,
+                time_window=task.time_window,
+                clean_accuracy=clean[lane],
+                learnable=learnable[lane],
+                diverged=train_diverged[lane],
+                robustness=robustness[lane],
+                elapsed_seconds=sum(phase_seconds.values()),
+                phase_seconds=phase_seconds,
+                worker=current_process().name,
+                stack_size=k,
+                stack_index=lane,
+            )
+        )
+    return results
+
+
+# -- packing + the stacked schedule --------------------------------------------
+
+
+def pack_stacks(
+    context: ExplorationJobContext, tasks: Sequence[CellTask], stack: int
+) -> tuple[list[tuple[list[CellTask], list[Module]]], list[CellTask]]:
+    """Greedily pack ``tasks`` into compatible groups of at most ``stack``.
+
+    Returns ``(groups, singles)`` where each group pairs its tasks with
+    their freshly built member models (reused by the group run, so the
+    factory's deterministic init rng is consumed exactly once per cell).
+    Packing is greedy over the given task order: a seed task opens a
+    group, every later task whose model co-stacks with the group joins
+    until the group is full, and rejected candidates are requeued in
+    order for the next group.  Cells whose trained weights are already
+    archived are diverted to ``singles`` — their "training" is a cache
+    read the stacked trainer has no business mirroring — as are cells
+    whose models fail :func:`~repro.snn.stack.stack_compatibility` on
+    their own (the trusted-twin fallback, per cell, not per stack).
+    """
+    weight_cache = context.weight_cache
+    reuse = weight_cache is not None and context.reuse_weights
+    singles: list[CellTask] = []
+    queue: deque[CellTask] = deque()
+    for task in tasks:
+        if reuse and weight_cache.path_for(task.weight_key, task.cell_seed).is_file():
+            singles.append(task)
+        else:
+            queue.append(task)
+    groups: list[tuple[list[CellTask], list[Module]]] = []
+    while queue:
+        task = queue.popleft()
+        model = context.model_factory(task.v_th, task.time_window, task.cell_seed)
+        reason = stack_compatibility([model])
+        if reason is not None:
+            _logger.info(
+                "cell (Vth=%g, T=%d) runs unstacked: %s",
+                task.v_th,
+                task.time_window,
+                reason,
+            )
+            singles.append(task)
+            continue
+        group_tasks = [task]
+        group_models = [model]
+        rejected: list[CellTask] = []
+        while queue and len(group_tasks) < stack:
+            candidate = queue.popleft()
+            candidate_model = context.model_factory(
+                candidate.v_th, candidate.time_window, candidate.cell_seed
+            )
+            if stack_compatibility(group_models + [candidate_model]) is None:
+                group_tasks.append(candidate)
+                group_models.append(candidate_model)
+            else:
+                rejected.append(candidate)
+        queue = deque(rejected + list(queue))
+        if len(group_tasks) == 1:
+            singles.append(task)
+        else:
+            groups.append((group_tasks, group_models))
+    return groups, singles
+
+
+def run_stacked_cell_tasks(
+    context: ExplorationJobContext,
+    tasks: Sequence[CellTask],
+    stack: int = 1,
+    cache=None,
+    resume: bool = False,
+    progress: ProgressCallback | None = None,
+    shard: ShardSpec | None = None,
+) -> tuple[list, ScheduleStats]:
+    """Serve ``tasks`` through variant stacks of up to ``stack`` cells.
+
+    The stacked sibling of :func:`repro.engine.scheduler.run_cell_tasks`
+    with identical cache/resume/shard/progress semantics and bitwise
+    identical per-cell results; ``stack <= 1`` simply delegates to it.
+    Stacking is in-process (the fold replaces worker parallelism), so
+    pending tasks are additionally cost-ordered longest-first from the
+    cache directory's recorded timings — a stack of uniformly expensive
+    cells amortises best, and the most expensive work stops stranding
+    the end of the schedule.
+    """
+    if stack <= 1:
+        return run_cell_tasks(
+            context,
+            tasks,
+            jobs=1,
+            cache=cache,
+            resume=resume,
+            progress=progress,
+            shard=shard,
+        )
+    if resume and cache is None:
+        raise ValueError("resume=True requires a cache to resume from")
+    start = time.perf_counter()
+    if shard is not None:
+        # Partition before anything else, exactly like run_tasks: a shard
+        # must neither compute nor serve tasks it does not own.
+        tasks = shard.partition(list(tasks))
+    results: dict[int, object] = {}
+    by_index = {task.index: task for task in tasks}
+    if len(by_index) != len(tasks):
+        raise ValueError("task indices must be unique")
+
+    pending: list[CellTask] = []
+    cached = 0
+    for task in tasks:
+        result = cache.get(task) if (cache is not None and resume) else None
+        if result is not None:
+            results[task.index] = result
+            cached += 1
+            if progress is not None:
+                progress(task, result, True)
+        else:
+            pending.append(task)
+
+    costs = cached_cell_costs(cache.directory) if cache is not None else None
+    pending = order_cell_tasks(pending, costs)
+
+    computed_workers: set[str] = set()
+    cache_write_failed = False
+
+    def record(task: CellTask, result: CellResult) -> None:
+        nonlocal cache_write_failed
+        results[task.index] = result
+        if result.worker:
+            computed_workers.add(result.worker)
+        if cache is not None and not cache_write_failed:
+            # Checkpointing is a convenience; an unwritable cache directory
+            # must not abort the computation (same policy as run_tasks).
+            try:
+                cache.put(task, result)
+            except OSError as error:
+                cache_write_failed = True
+                _logger.warning(
+                    "checkpointing disabled for the rest of this run: "
+                    "cache write failed (%s)",
+                    error,
+                )
+        if progress is not None:
+            progress(task, result, False)
+
+    groups, singles = pack_stacks(context, pending, stack)
+    for group_tasks, group_models in groups:
+        for task, result in zip(group_tasks, run_stacked_group(context, group_tasks, group_models)):
+            record(task, result)
+    for task in singles:
+        record(task, run_cell_task(context, task))
+
+    ordered = [results[task.index] for task in tasks]
+    stats = ScheduleStats(
+        jobs=1,
+        total_cells=len(tasks),
+        cached_cells=cached,
+        computed_cells=len(pending),
+        elapsed_seconds=time.perf_counter() - start,
+        workers=sorted(computed_workers),
+        start_method="stacked",
+        shard="" if shard is None else str(shard),
+    )
+    return ordered, stats

@@ -12,7 +12,9 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.engine import CellCache, context_fingerprint
+from repro.engine.costs import cached_cell_costs, order_cell_tasks
 from repro.engine.scheduler import run_cell_tasks
+from repro.engine.stacking import run_stacked_cell_tasks
 from repro.engine.shard import (
     ShardRunResult,
     ShardSpec,
@@ -42,6 +44,7 @@ def _run_grid_shard(
     resume: bool,
     start_method: str,
     spec,
+    stack: int = 1,
 ) -> ShardRunResult:
     """One shard's slice of the grid: compute + checkpoint, no figure.
 
@@ -64,17 +67,30 @@ def _run_grid_shard(
 
     manifest_path = None
     try:
-        _cells, stats = run_cell_tasks(
-            context,
-            tasks,
-            jobs=jobs,
-            cache=cache,
-            resume=resume,
-            progress=progress,
-            start_method=start_method,
-            context_spec=spec,
-            shard=shard,
-        )
+        if stack > 1:
+            _cells, stats = run_stacked_cell_tasks(
+                context,
+                tasks,
+                stack=stack,
+                cache=cache,
+                resume=resume,
+                progress=progress,
+                shard=shard,
+            )
+        else:
+            costs = cached_cell_costs(cache.directory) if cache is not None else None
+            _cells, stats = run_cell_tasks(
+                context,
+                tasks,
+                jobs=jobs,
+                cache=cache,
+                resume=resume,
+                progress=progress,
+                start_method=start_method,
+                context_spec=spec,
+                shard=shard,
+                pending_order=lambda pending: order_cell_tasks(pending, costs),
+            )
     finally:
         # Even an interrupted shard leaves an accurate completion record
         # for the coordinator's `cache verify`.
@@ -100,6 +116,7 @@ def run_grid_exploration(
     resume: bool = False,
     start_method: str = "auto",
     shard: ShardSpec | None = None,
+    stack: int = 1,
 ) -> ExplorationResult | ShardRunResult:
     """Run Algorithm 1 over the profile's grid (Figs. 6-8 in one pass).
 
@@ -131,6 +148,15 @@ def run_grid_exploration(
         into its own ``cache_dir``, the directories are merged with
         ``cache merge``, and an unsharded ``resume`` run renders the
         figures from the union.
+    stack:
+        Pack up to ``stack`` compatible grid cells into one
+        :class:`~repro.snn.stack.VariantStack` fused pass — bitwise
+        identical per-cell results, sublinear wall-clock in the cell
+        count.  Stacked execution is in-process (``jobs``/
+        ``start_method`` do not apply); it composes with ``shard`` (the
+        shard's slice is packed) and with ``cache_dir``/``resume``
+        (checkpoints and weight archives stay per-cell and
+        fingerprint-identical to the unstacked path).
     """
     if resume and cache_dir is None:
         raise ValueError("resume=True requires cache_dir to resume from")
@@ -161,7 +187,7 @@ def run_grid_exploration(
     if shard is not None:
         return _run_grid_shard(
             explorer, context, cache, cache_dir, shard, profile,
-            verbose, jobs, resume, start_method, spec,
+            verbose, jobs, resume, start_method, spec, stack=stack,
         )
     result = explorer.run(
         verbose=verbose,
@@ -171,6 +197,7 @@ def run_grid_exploration(
         start_method=start_method,
         context_spec=spec,
         weight_cache=context.weight_cache,
+        stack=stack,
     )
     result.metadata["profile"] = profile.name
     if cache is not None:

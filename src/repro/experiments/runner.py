@@ -144,6 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
         "spawn, which rebuilds the job context per worker (default: auto)",
     )
     engine.add_argument(
+        "--stack",
+        type=int,
+        default=1,
+        metavar="K",
+        help="pack up to K compatible grid cells into one fused "
+        "VariantStack pass (default: 1, unstacked; stacked runs are "
+        "in-process and bitwise identical per cell).  Grid only — the "
+        "sweep experiments fall back to unstacked execution",
+    )
+    engine.add_argument(
         "--shard",
         type=_parse_shard,
         default=None,
@@ -310,6 +320,7 @@ def _run_grid(
     resume: bool = False,
     start_method: str = "auto",
     shard: ShardSpec | None = None,
+    stack: int = 1,
 ) -> None:
     from repro.errors import ExplorationError
     from repro.robustness import select_sweet_spots
@@ -322,6 +333,7 @@ def _run_grid(
         resume=resume,
         start_method=start_method,
         shard=shard,
+        stack=stack,
     )
     if isinstance(result, ShardRunResult):
         _emit_shard_result(result, out_dir, profile.name)
@@ -532,6 +544,17 @@ def _run_cache(args) -> int:
             )
         for fingerprint, count in stats["by_fingerprint"].items():
             print(f"  fingerprint {fingerprint}: {count} entries")
+        timings = stats.get("timings") or {}
+        if timings.get("timed_entries"):
+            totals = " ".join(
+                f"{key.removesuffix('_s')}={value:.1f}s"
+                for key, value in timings["totals"].items()
+            )
+            print(
+                f"  phase totals over {timings['timed_entries']} "
+                f"timed entr{'y' if timings['timed_entries'] == 1 else 'ies'}: "
+                f"{totals}"
+            )
         return 0
     if args.action == "inspect":
         entries = [
@@ -610,6 +633,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.stack < 1:
+        parser.error("--stack must be >= 1")
     if args.resume and args.no_cache:
         parser.error("--resume needs checkpoints; drop --no-cache")
     if args.cache_dir is not None and args.no_cache:
@@ -634,6 +659,15 @@ def main(argv: list[str] | None = None) -> int:
         shard=args.shard,
     )
     epsilons = getattr(args, "epsilons", None)
+    stack = args.stack
+    if stack > 1 and args.command in ("fig9", "ablation"):
+        # The sweep experiments train one model per sweep, not a grid of
+        # stackable variants; silently ignoring the flag would misreport
+        # how the run executed.
+        print(
+            f"[stack] {args.command} runs sweeps, not grid cells; "
+            f"--stack {stack} falls back to unstacked execution"
+        )
     # dict.fromkeys: drop repeated --factor flags while keeping order
     factors = tuple(dict.fromkeys(getattr(args, "factor", None) or ABLATION_FACTORS))
 
@@ -652,7 +686,10 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.command in ("grid", "all"):
         planned.append(
-            ("grid", lambda: _run_grid(profile, args.out, **engine_kwargs))
+            (
+                "grid",
+                lambda: _run_grid(profile, args.out, stack=stack, **engine_kwargs),
+            )
         )
     if args.command in ("fig9", "all"):
         planned.append(

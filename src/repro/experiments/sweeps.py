@@ -26,6 +26,7 @@ from collections.abc import Callable
 from pathlib import Path
 
 from repro.engine.cache import SweepCache, WeightCache, sweep_fingerprint, training_fingerprint
+from repro.engine.costs import cached_sweep_costs, order_sweep_tasks
 from repro.engine.job import ExplorationJobContext
 from repro.engine.scheduler import ContextSpec, run_tasks
 from repro.engine.shard import (
@@ -172,6 +173,11 @@ def run_sweep_schedule(
             done, total, task.key, result.clean_accuracy, source,
         )
 
+    # Longest-first dispatch keeps the final worker busy with short tasks
+    # instead of idling behind one long straggler; costs come from prior
+    # runs' cached phase timings, falling back to a T-descending estimate.
+    costs = cached_sweep_costs(cache_dir) if cache_dir is not None else None
+
     manifest_path: str | None = None
     try:
         results, stats = run_tasks(
@@ -185,6 +191,7 @@ def run_sweep_schedule(
             start_method=start_method,
             context_spec=spec,
             shard=shard,
+            pending_order=lambda pending: order_sweep_tasks(pending, costs),
         )
     finally:
         if cache is not None:

@@ -117,6 +117,7 @@ class RobustnessExplorer:
         start_method: str = "auto",
         context_spec=None,
         weight_cache=None,
+        stack: int = 1,
     ) -> ExplorationResult:
         """Execute the full grid exploration and collect results.
 
@@ -145,8 +146,18 @@ class RobustnessExplorer:
             cell weights are always written through it; with ``resume``
             they replace retraining, so a re-sweep with new ε budgets
             only recomputes the security analysis.
+        stack:
+            Pack up to ``stack`` compatible cells into one
+            :class:`~repro.snn.stack.VariantStack` fused pass
+            (:func:`~repro.engine.stacking.run_stacked_cell_tasks`).
+            Stacked execution is in-process and per-cell bitwise
+            identical to the unstacked path; ``1`` (the default) keeps
+            the per-cell scheduler, where ``jobs``/``start_method``
+            apply.
         """
+        from repro.engine.costs import cached_cell_costs, order_cell_tasks
         from repro.engine.scheduler import run_cell_tasks
+        from repro.engine.stacking import run_stacked_cell_tasks
 
         tasks = self.tasks()
         total = len(tasks)
@@ -174,16 +185,28 @@ class RobustnessExplorer:
         context = self.context
         context.weight_cache = weight_cache
         context.reuse_weights = weight_cache is not None and resume
-        cells, stats = run_cell_tasks(
-            context,
-            tasks,
-            jobs=jobs,
-            cache=cache,
-            resume=resume,
-            progress=progress,
-            start_method=start_method,
-            context_spec=context_spec,
-        )
+        if stack > 1:
+            cells, stats = run_stacked_cell_tasks(
+                context,
+                tasks,
+                stack=stack,
+                cache=cache,
+                resume=resume,
+                progress=progress,
+            )
+        else:
+            costs = cached_cell_costs(cache.directory) if cache is not None else None
+            cells, stats = run_cell_tasks(
+                context,
+                tasks,
+                jobs=jobs,
+                cache=cache,
+                resume=resume,
+                progress=progress,
+                start_method=start_method,
+                context_spec=context_spec,
+                pending_order=lambda pending: order_cell_tasks(pending, costs),
+            )
         return ExplorationResult(
             v_thresholds=self.config.v_thresholds,
             time_windows=self.config.time_windows,

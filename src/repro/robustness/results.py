@@ -43,6 +43,16 @@ class CellResult:
     worker: str = field(default="", compare=False)
     """Process name that evaluated the cell (``MainProcess`` when serial)."""
 
+    stack_size: int = field(default=1, compare=False)
+    """How many grid cells shared the fused pass that produced this one
+    (``1`` = unstacked).  Execution provenance like :attr:`worker` —
+    excluded from equality and stripped by ``scripts/compare_results.py``,
+    since stacked and unstacked runs are bitwise-identical science.
+    """
+
+    stack_index: int = field(default=0, compare=False)
+    """This cell's lane within its variant stack (``0`` when unstacked)."""
+
     def as_dict(self) -> dict:
         """JSON-friendly representation (epsilon keys stringified)."""
         return {
@@ -55,6 +65,8 @@ class CellResult:
             "elapsed_seconds": self.elapsed_seconds,
             "phase_seconds": dict(self.phase_seconds),
             "worker": self.worker,
+            "stack_size": self.stack_size,
+            "stack_index": self.stack_index,
         }
 
     @staticmethod
@@ -73,6 +85,8 @@ class CellResult:
                 for k, v in payload.get("phase_seconds", {}).items()
             },
             worker=str(payload.get("worker", "")),
+            stack_size=int(payload.get("stack_size", 1)),
+            stack_index=int(payload.get("stack_index", 0)),
         )
 
 

@@ -499,6 +499,143 @@ class Conv2dPlan:
         """Gradient w.r.t. the bias (the closure's channel-sum)."""
         return g.sum(axis=(0, 2, 3))
 
+    # -- K-stacked execution ---------------------------------------------------
+    #
+    # A variant stack (repro.snn.stack) folds K same-architecture models on
+    # the batch axis: a plan built for the folded shape ``(K*N, C, H, W)``
+    # serves all K variants with ONE im2col pass, while the GEMMs run per
+    # variant on the contiguous row block of the column matrix that belongs
+    # to that variant's lanes.  Each per-variant GEMM therefore has exactly
+    # the shape, strides and contiguity of the unstacked plan's GEMM for a
+    # batch of N — the same BLAS kernel runs on the same operand layout —
+    # which is what keeps stacked results bitwise identical per variant.
+
+    def lane_rows(self, lanes: int) -> int:
+        """Column-matrix rows per variant when the batch folds ``lanes`` ways."""
+        n = self.shape[0]
+        if lanes < 1 or n % lanes:
+            raise ShapeError(
+                f"folded batch {n} does not divide into {lanes} variant lanes"
+            )
+        return (n // lanes) * self.oh * self.ow
+
+    def stacked(
+        self,
+        x: np.ndarray,
+        weights: list[np.ndarray],
+        biases: list[np.ndarray | None],
+        alive: list[bool] | None = None,
+    ) -> np.ndarray:
+        """Forward for K weight sets over a lane-folded batch.
+
+        ``alive`` masks the dead wavefront of a ragged-T stack: a dead
+        variant's GEMM is skipped and its output rows zero-filled (the
+        values are structurally unused, but must stay finite so they
+        cannot leak NaNs into the folded elementwise stages).
+        """
+        n, _c_in, h, w = self.shape
+        k = len(weights)
+        rows = self.lane_rows(k)
+        if self._padded is None:
+            padded = x
+        else:
+            self._padded[:, :, self.ph : self.ph + h, self.pw : self.pw + w] = x
+            padded = self._padded
+        windows = _strided_windows(padded, self.kh, self.kw, self.sh, self.sw)
+        self._cols6d[...] = windows.transpose(0, 2, 3, 1, 4, 5)
+        out = np.empty((n * self.oh * self.ow, weights[0].shape[0]), dtype=self.dtype)
+        for lane in range(k):
+            block = slice(lane * rows, (lane + 1) * rows)
+            if alive is not None and not alive[lane]:
+                out[block] = 0.0
+                continue
+            w_mat = weights[lane].reshape(weights[lane].shape[0], -1)
+            lane_out = self._cols[block] @ w_mat.T
+            if biases[lane] is not None:
+                lane_out = lane_out + biases[lane]
+            out[block] = lane_out
+        return np.ascontiguousarray(
+            out.reshape(n, self.oh, self.ow, -1).transpose(0, 3, 1, 2)
+        )
+
+    def stacked_backward_input(
+        self,
+        g: np.ndarray,
+        weights: list[np.ndarray],
+        alive: list[bool] | None = None,
+    ) -> np.ndarray:
+        """Input gradient for K weight sets over a lane-folded batch.
+
+        Per-variant grad-column GEMMs feed one fold-wide col2im scatter
+        (the scatter is lane-local data movement, so folding it is exact).
+        """
+        n, c_in, h, w = self.shape
+        k = len(weights)
+        rows = self.lane_rows(k)
+        g_mat = self._grad_as_matrix(g)
+        grad_cols = np.empty(
+            (n * self.oh * self.ow, c_in * self.kh * self.kw), dtype=self.dtype
+        )
+        for lane in range(k):
+            block = slice(lane * rows, (lane + 1) * rows)
+            if alive is not None and not alive[lane]:
+                grad_cols[block] = 0.0
+                continue
+            w_mat = weights[lane].reshape(weights[lane].shape[0], -1)
+            grad_cols[block] = g_mat[block] @ w_mat
+        grad_windows = grad_cols.reshape(
+            n, self.oh, self.ow, c_in, self.kh, self.kw
+        ).transpose(0, 3, 1, 2, 4, 5)
+        scratch = self._grad_padded
+        if scratch is None:
+            scratch = np.zeros(
+                (n, c_in, h + 2 * self.ph, w + 2 * self.pw), dtype=self.dtype
+            )
+            self._grad_padded = scratch
+        else:
+            scratch.fill(0.0)
+        for i in range(self.kh):
+            for j in range(self.kw):
+                scratch[
+                    :, :, i : i + self.oh * self.sh : self.sh,
+                    j : j + self.ow * self.sw : self.sw,
+                ] += grad_windows[:, :, :, :, i, j]
+        return scratch[:, :, self.ph : self.ph + h, self.pw : self.pw + w].copy()
+
+    def stacked_backward_weights(
+        self,
+        g: np.ndarray,
+        x: np.ndarray,
+        weight_shape: tuple[int, ...],
+        wanted: list[bool],
+    ) -> list[np.ndarray | None]:
+        """Per-variant filter gradients over a lane-folded batch.
+
+        One im2col refill from the recorded folded input serves every
+        variant's ``g.T @ cols`` GEMM; ``wanted[lane]`` gates lanes whose
+        parameters are structurally dead at this step (``None`` entries
+        keep the autograd path's grad-never-touched semantics).
+        """
+        n, _c_in, h, w = self.shape
+        k = len(wanted)
+        rows = self.lane_rows(k)
+        if self._padded is None:
+            padded = x
+        else:
+            self._padded[:, :, self.ph : self.ph + h, self.pw : self.pw + w] = x
+            padded = self._padded
+        windows = _strided_windows(padded, self.kh, self.kw, self.sh, self.sw)
+        self._cols6d[...] = windows.transpose(0, 2, 3, 1, 4, 5)
+        g_mat = self._grad_as_matrix(g)
+        grads: list[np.ndarray | None] = []
+        for lane in range(k):
+            if not wanted[lane]:
+                grads.append(None)
+                continue
+            block = slice(lane * rows, (lane + 1) * rows)
+            grads.append((g_mat[block].T @ self._cols[block]).reshape(weight_shape))
+        return grads
+
 
 class _Pool2dPlan:
     """Shared window geometry of the pooling plans."""

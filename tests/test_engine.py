@@ -207,7 +207,7 @@ class TestRunnerCLIFlags:
         captured = {}
 
         def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False,
-                      start_method="auto", shard=None):
+                      start_method="auto", shard=None, stack=1):
             captured.update(
                 profile=profile.name,
                 jobs=jobs,
@@ -215,6 +215,7 @@ class TestRunnerCLIFlags:
                 resume=resume,
                 start_method=start_method,
                 shard=shard,
+                stack=stack,
             )
             return _stub_result()
 
@@ -231,6 +232,7 @@ class TestRunnerCLIFlags:
             "resume": True,
             "start_method": "fork",
             "shard": None,
+            "stack": 1,
         }
         saved = tmp_path / "grid_micro.json"
         assert saved.exists()

@@ -1,0 +1,526 @@
+"""Parity contracts of the PR-6 K-stacked execution layer.
+
+A :class:`~repro.snn.stack.VariantStack` lifts K same-architecture models
+(differing in Vth, T, surrogate slope, encoder rate) into one lane-folded
+pass.  Everything it produces must be **bitwise identical** per variant
+to the K=1 fused path — forward logits, input gradients, parameter
+gradients, trained weights, and whole engine-level cell results — which
+is exactly what this module asserts, alongside the cost-ordered
+scheduling and cache-timing satellites that ride on the same PR.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.engine.cache import (
+    CellCache,
+    WeightCache,
+    cache_stats,
+    context_fingerprint,
+    training_fingerprint,
+)
+from repro.engine.costs import (
+    cached_cell_costs,
+    cached_sweep_costs,
+    cell_cost_estimator,
+    order_cell_tasks,
+    order_sweep_tasks,
+)
+from repro.engine.job import ExplorationJobContext, build_cell_tasks
+from repro.engine.scheduler import run_cell_tasks, run_tasks
+from repro.engine.stacking import pack_stacks, run_stacked_cell_tasks
+from repro.models.spiking_lenet import build_spiking_lenet_mini
+from repro.robustness.config import ExplorationConfig
+from repro.snn.encoding import PoissonEncoder
+from repro.snn.neuron import LIFCell, LIFParameters, LICell
+from repro.snn.stack import (
+    StackedLICell,
+    StackedLIFCell,
+    VariantStack,
+    stack_compatibility,
+)
+from repro.tensor.tensor import Tensor, no_grad
+from repro.training.trainer import TrainingConfig
+
+
+def _fold(batches):
+    return np.concatenate(list(batches), axis=0)
+
+
+def _lane(folded, lane, n):
+    return folded[lane * n : (lane + 1) * n]
+
+
+def _mini(v_th=1.0, time_steps=4, seed=0, surrogate_alpha=100.0):
+    return build_spiking_lenet_mini(
+        input_size=8,
+        num_classes=4,
+        time_steps=time_steps,
+        lif_params=LIFParameters(v_th=v_th, surrogate_alpha=surrogate_alpha),
+        rng=seed,
+    )
+
+
+# -- per-layer parity ---------------------------------------------------------
+
+
+class TestStackedCells:
+    """Stacked LIF/LI populations vs their unstacked numpy twins."""
+
+    def _lif_variants(self):
+        return [
+            LIFCell(LIFParameters(v_th=0.5, surrogate_alpha=100.0)),
+            LIFCell(LIFParameters(v_th=1.0, surrogate_alpha=10.0)),
+            LIFCell(LIFParameters(v_th=1.5, tau_mem_inv=120.0)),
+        ]
+
+    def test_lif_step_parity(self, rng):
+        cells = self._lif_variants()
+        stacked = StackedLIFCell(cells)
+        n = 3
+        currents = [
+            rng.standard_normal((n, 6)).astype(np.float32) for _ in range(4)
+        ]
+        folded_state = None
+        lane_states = [None] * len(cells)
+        for current in currents:
+            folded = _fold([current] * len(cells))
+            spikes, folded_state = stacked.step_numpy(folded, folded_state)
+            for lane, cell in enumerate(cells):
+                expected, lane_states[lane] = cell.step_numpy(
+                    current, lane_states[lane]
+                )
+                np.testing.assert_array_equal(_lane(spikes, lane, n), expected)
+                for got, want in zip(_lane_state(folded_state, lane, n), lane_states[lane]):
+                    np.testing.assert_array_equal(got, want)
+
+    def test_lif_record_backward_parity(self, rng):
+        cells = self._lif_variants()
+        stacked = StackedLIFCell(cells)
+        n = 2
+        current = rng.standard_normal((n, 5)).astype(np.float32)
+        folded = _fold([current] * len(cells))
+        spikes, state, ctx = stacked.step_record_numpy(folded)
+        g_spikes = rng.standard_normal(spikes.shape).astype(np.float32)
+        gi, (g_i_prev, g_v_prev) = stacked.step_backward_numpy(g_spikes, None, ctx)
+        for lane, cell in enumerate(cells):
+            e_spikes, e_state, e_ctx = cell.step_record_numpy(current)
+            np.testing.assert_array_equal(_lane(spikes, lane, n), e_spikes)
+            e_gi, (e_g_i, e_g_v) = cell.step_backward_numpy(
+                _lane(g_spikes, lane, n), None, e_ctx
+            )
+            np.testing.assert_array_equal(_lane(gi, lane, n), e_gi)
+            np.testing.assert_array_equal(_lane(g_i_prev, lane, n), e_g_i)
+            np.testing.assert_array_equal(_lane(g_v_prev, lane, n), e_g_v)
+
+    def test_li_parity(self, rng):
+        cells = [
+            LICell(LIFParameters()),
+            LICell(LIFParameters(tau_mem_inv=80.0)),
+        ]
+        stacked = StackedLICell(cells)
+        n = 4
+        current = rng.standard_normal((n, 3)).astype(np.float32)
+        folded = _fold([current] * len(cells))
+        membrane, state = stacked.step_numpy(folded)
+        g = rng.standard_normal(membrane.shape).astype(np.float32)
+        g_i, (g_i_prev, g_v_direct, g_v_leak) = stacked.step_backward_numpy(g, None)
+        for lane, cell in enumerate(cells):
+            e_membrane, _e_state = cell.step_numpy(current)
+            np.testing.assert_array_equal(_lane(membrane, lane, n), e_membrane)
+            e_g_i, (e_g_i_prev, e_direct, e_leak) = cell.step_backward_numpy(
+                _lane(g, lane, n), None
+            )
+            np.testing.assert_array_equal(_lane(g_i, lane, n), e_g_i)
+            np.testing.assert_array_equal(_lane(g_i_prev, lane, n), e_g_i_prev)
+            np.testing.assert_array_equal(_lane(g_v_direct, lane, n), e_direct)
+            np.testing.assert_array_equal(_lane(g_v_leak, lane, n), e_leak)
+
+    def test_reset_mode_must_agree(self):
+        cells = [
+            LIFCell(LIFParameters(reset_mode="hard")),
+            LIFCell(LIFParameters(reset_mode="soft")),
+        ]
+        with pytest.raises(ValueError, match="reset_mode"):
+            StackedLIFCell(cells)
+
+
+def _lane_state(state, lane, n):
+    return tuple(_lane(array, lane, n) for array in state)
+
+
+# -- compatibility gate -------------------------------------------------------
+
+
+class TestStackCompatibility:
+    def test_registry_models_are_stackable(self):
+        members = [_mini(v_th=0.5, time_steps=3, seed=0), _mini(1.5, 5, 1)]
+        assert stack_compatibility(members) is None
+
+    def test_disabled_fused_paths_reject(self):
+        model = _mini()
+        model.use_fused_backward = False
+        assert stack_compatibility([model]) == "fused paths disabled on a member"
+
+    def test_reset_mode_mismatch_rejects(self):
+        members = [
+            _mini(seed=0),
+            build_spiking_lenet_mini(
+                input_size=8,
+                num_classes=4,
+                time_steps=4,
+                lif_params=LIFParameters(reset_mode="soft"),
+                rng=1,
+            ),
+        ]
+        assert stack_compatibility(members) == "reset_mode differs across members"
+
+    def test_variant_stack_raises_with_reason(self):
+        model = _mini()
+        model.use_synapse_plans = False
+        with pytest.raises(ValueError, match="cannot stack"):
+            VariantStack([model])
+
+
+# -- end-to-end stack parity --------------------------------------------------
+
+
+def _variant_specs(k):
+    """(v_th, T, seed, surrogate_alpha) for a deliberately ragged stack."""
+    pool = [
+        (0.5, 4, 0, 100.0),
+        (1.0, 6, 1, 100.0),   # ragged T
+        (1.5, 4, 2, 10.0),    # different surrogate slope
+        (0.75, 5, 3, 100.0),
+        (1.25, 6, 4, 50.0),
+    ]
+    return pool[:k]
+
+
+class TestVariantStackParity:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_forward_logits_bitwise(self, rng, k):
+        members = [
+            _mini(v, t, seed, alpha) for v, t, seed, alpha in _variant_specs(k)
+        ]
+        stack = VariantStack(members)
+        x = rng.random((3, 1, 8, 8)).astype(np.float32)
+        folded = stack.fold([x] * k)
+        logits = stack.forward_logits(folded)
+        assert stack.stacked_forward_count == 1
+        for member, lane_logits in zip(members, logits):
+            with no_grad():
+                expected = member(Tensor(x)).data
+            np.testing.assert_array_equal(lane_logits, expected)
+
+    @pytest.mark.parametrize("k", [2, 5])
+    def test_fused_input_gradient_bitwise(self, rng, k):
+        members = [
+            _mini(v, t, seed, alpha) for v, t, seed, alpha in _variant_specs(k)
+        ]
+        stack = VariantStack(members)
+        x = rng.random((3, 1, 8, 8)).astype(np.float32)
+        labels = [rng.integers(0, 4, 3) for _ in range(k)]
+        folded_grad = stack.fused_input_gradient(stack.fold([x] * k), labels)
+        for lane, member in enumerate(members):
+            expected = member.fused_input_gradient(x, labels[lane])
+            np.testing.assert_array_equal(_lane(folded_grad, lane, 3), expected)
+
+    def test_fused_loss_backward_bitwise(self, rng):
+        specs = _variant_specs(3)
+        members = [_mini(v, t, seed, alpha) for v, t, seed, alpha in specs]
+        twins = [_mini(v, t, seed, alpha) for v, t, seed, alpha in specs]
+        stack = VariantStack(members)
+        x = rng.random((4, 1, 8, 8)).astype(np.float32)
+        labels = [rng.integers(0, 4, 4) for _ in range(3)]
+        pairs = stack.fused_loss_backward(stack.fold([x] * 3), labels)
+        for lane, (member, twin) in enumerate(zip(members, twins)):
+            loss, logits = twin.fused_loss_backward(x, labels[lane])
+            assert pairs[lane][0] == loss
+            np.testing.assert_array_equal(pairs[lane][1], logits)
+            for got, want in zip(member.parameters(), twin.parameters()):
+                np.testing.assert_array_equal(got.grad, want.grad)
+
+    def test_param_lanes_gate_accumulation(self, rng):
+        specs = _variant_specs(2)
+        members = [_mini(v, t, s, a) for v, t, s, a in specs]
+        twin = _mini(*specs[0])
+        stack = VariantStack(members)
+        x = rng.random((2, 1, 8, 8)).astype(np.float32)
+        labels = [rng.integers(0, 4, 2) for _ in range(2)]
+        stack.fused_loss_backward(stack.fold([x] * 2), labels, param_lanes=[True, False])
+        twin.fused_loss_backward(x, labels[0])
+        # The selected lane accumulates exactly its twin's gradients (a
+        # short T window legitimately leaves early-layer grads unset)...
+        for got, want in zip(members[0].parameters(), twin.parameters()):
+            np.testing.assert_array_equal(got.grad, want.grad)
+        assert any(p.grad is not None for p in members[0].parameters())
+        # ...while the deselected lane accumulates nothing at all.
+        assert all(p.grad is None for p in members[1].parameters())
+
+    def test_poisson_per_variant_seeds(self, rng):
+        """Per-lane Poisson draws match each member's own stream exactly."""
+        specs = [(0.5, 4, 0), (1.0, 6, 1)]
+        members, twins = [], []
+        for v, t, seed in specs:
+            for bucket in (members, twins):
+                model = _mini(v, t, seed)
+                model.encoder = PoissonEncoder(scale=1.5, rng=seed + 40)
+                bucket.append(model)
+        stack = VariantStack(members)
+        x = rng.random((3, 1, 8, 8)).astype(np.float32)
+        logits = stack.forward_logits(stack.fold([x] * 2))
+        for lane, twin in enumerate(twins):
+            with no_grad():
+                expected = twin(Tensor(x)).data
+            np.testing.assert_array_equal(logits[lane], expected)
+        # The stacked pass consumed each member's generator exactly as the
+        # unstacked pass consumed its twin's — including skipping the
+        # shorter variant's draws on padded (dead) steps.
+        for member, twin in zip(members, twins):
+            assert (
+                member.encoder._rng.bit_generator.state
+                == twin.encoder._rng.bit_generator.state
+            )
+
+
+# -- engine-level parity ------------------------------------------------------
+
+
+def _grid_fixture():
+    rng = np.random.default_rng(0)
+    train = ArrayDataset(
+        rng.random((16, 1, 8, 8), dtype=np.float32), rng.integers(0, 4, 16)
+    )
+    test = ArrayDataset(
+        rng.random((8, 1, 8, 8), dtype=np.float32), rng.integers(0, 4, 8)
+    )
+
+    def factory(v_th, time_window, seed):
+        return build_spiking_lenet_mini(
+            input_size=8,
+            num_classes=4,
+            time_steps=int(time_window),
+            lif_params=LIFParameters(v_th=float(v_th)),
+            rng=seed,
+        )
+
+    config = ExplorationConfig(
+        v_thresholds=(0.5, 1.0),
+        time_windows=(4, 6),
+        epsilons=(0.0, 0.8),
+        accuracy_threshold=0.05,
+        attack_steps=2,
+        training=TrainingConfig(epochs=1, batch_size=8, seed=11),
+        seed=7,
+    )
+    return factory, train, test, config
+
+
+class TestStackedEngine:
+    def test_stacked_schedule_matches_unstacked_bitwise(self, tmp_path):
+        factory, train, test, config = _grid_fixture()
+        tasks = build_cell_tasks(config)
+
+        ctx_a = ExplorationJobContext(factory, train, test, config)
+        ctx_a.weight_cache = WeightCache(
+            tmp_path / "a", training_fingerprint(train, config.training)
+        )
+        base, _stats = run_cell_tasks(ctx_a, tasks)
+
+        ctx_b = ExplorationJobContext(factory, train, test, config)
+        ctx_b.weight_cache = WeightCache(
+            tmp_path / "b", training_fingerprint(train, config.training)
+        )
+        cache = CellCache(tmp_path / "b", context_fingerprint(ctx_b))
+        stacked, stats = run_stacked_cell_tasks(ctx_b, tasks, stack=3, cache=cache)
+
+        assert stats.start_method == "stacked"
+        assert [cell.stack_size for cell in stacked].count(3) >= 3
+        for expected, got in zip(base, stacked):
+            assert expected == got  # dataclass equality: the science fields
+            assert expected.robustness == got.robustness
+        # Trained weights are the stronger claim: byte-for-byte equal
+        # archives, so a later --resume re-sweep is provably unaffected
+        # by how the original run was stacked.
+        for task in tasks:
+            path_a = ctx_a.weight_cache.path_for(task.weight_key, task.cell_seed)
+            path_b = ctx_b.weight_cache.path_for(task.weight_key, task.cell_seed)
+            assert path_a.is_file() == path_b.is_file()
+            if path_a.is_file():
+                got_a = ctx_a.weight_cache.get(task.weight_key, task.cell_seed)
+                got_b = ctx_b.weight_cache.get(task.weight_key, task.cell_seed)
+                for key in got_a[0]:
+                    assert got_a[0][key].tobytes() == got_b[0][key].tobytes()
+
+        # Resume: every cell served from the checkpoint store, bitwise.
+        served, resume_stats = run_stacked_cell_tasks(
+            ctx_b, tasks, stack=3, cache=cache, resume=True
+        )
+        assert served == stacked
+        assert resume_stats.cached_cells == len(tasks)
+
+    def test_trusted_twin_fallback_is_per_cell(self):
+        """One untrusted variant disqualifies only its own cell."""
+        factory, train, test, config = _grid_fixture()
+        tasks = build_cell_tasks(config)
+
+        def suspicious_factory(v_th, time_window, seed):
+            model = factory(v_th, time_window, seed)
+            if float(v_th) == 0.5 and int(time_window) == 6:
+                model.use_fused_backward = False
+            return model
+
+        ctx_a = ExplorationJobContext(suspicious_factory, train, test, config)
+        base, _stats = run_cell_tasks(ctx_a, tasks)
+        ctx_b = ExplorationJobContext(suspicious_factory, train, test, config)
+        stacked, _stats = run_stacked_cell_tasks(ctx_b, tasks, stack=4)
+        for expected, got in zip(base, stacked):
+            assert expected == got
+        by_cell = {
+            (cell.v_th, cell.time_window): cell.stack_size for cell in stacked
+        }
+        assert by_cell[(0.5, 6)] == 1  # the untrusted cell ran unstacked
+        assert by_cell[(1.0, 4)] == 3  # the other three still stacked
+
+    def test_pack_stacks_diverts_weight_cache_hits(self, tmp_path):
+        factory, train, test, config = _grid_fixture()
+        tasks = build_cell_tasks(config)[:2]
+        context = ExplorationJobContext(factory, train, test, config)
+        context.weight_cache = WeightCache(
+            tmp_path, training_fingerprint(train, config.training)
+        )
+        from repro.engine.job import run_cell_task
+
+        run_cell_task(context, tasks[0])  # archives this cell's weights
+        context.reuse_weights = True
+        groups, singles = pack_stacks(context, tasks, stack=2)
+        assert groups == []
+        assert {task.index for task in singles} == {tasks[0].index, tasks[1].index}
+
+
+# -- cost-ordered scheduling --------------------------------------------------
+
+
+def _cell(index, v_th, time_window):
+    return SimpleNamespace(index=index, v_th=v_th, time_window=time_window)
+
+
+class TestCostOrdering:
+    def test_cold_cache_orders_by_time_window(self):
+        tasks = [_cell(0, 0.5, 4), _cell(1, 1.0, 64), _cell(2, 1.5, 16)]
+        ordered = order_cell_tasks(tasks, None)
+        assert [task.index for task in ordered] == [1, 2, 0]
+
+    def test_measured_costs_win_over_t(self):
+        tasks = [_cell(0, 0.5, 4), _cell(1, 1.0, 64)]
+        # A measured slow T=4 cell outranks an estimated T=64 one.
+        costs = {(0.5, 4): 100.0, (1.0, 64): 1.0}
+        ordered = order_cell_tasks(tasks, costs)
+        assert [task.index for task in ordered] == [0, 1]
+
+    def test_unmeasured_tasks_priced_by_median_rate(self):
+        estimate = cell_cost_estimator({(0.5, 10): 20.0})  # 2 s per step
+        assert estimate(_cell(0, 1.0, 8)) == pytest.approx(16.0)
+        assert estimate(_cell(1, 0.5, 10)) == 20.0
+
+    def test_order_is_deterministic_on_ties(self):
+        tasks = [_cell(2, 0.5, 8), _cell(0, 1.0, 8), _cell(1, 1.5, 8)]
+        assert [t.index for t in order_cell_tasks(tasks, None)] == [0, 1, 2]
+
+    def test_sweep_tasks_fall_back_to_time_steps_param(self):
+        sweeps = [
+            SimpleNamespace(index=0, key="a", params=(("time_steps", 8),)),
+            SimpleNamespace(index=1, key="b", params=(("time_steps", 32),)),
+            SimpleNamespace(index=2, key="c", params=()),
+        ]
+        assert [t.index for t in order_sweep_tasks(sweeps, None)] == [1, 0, 2]
+        measured = {"c": 50.0}
+        assert [t.index for t in order_sweep_tasks(sweeps, measured)] == [2, 1, 0]
+
+    def test_cached_costs_read_from_checkpoints(self, tmp_path):
+        factory, train, test, config = _grid_fixture()
+        tasks = build_cell_tasks(config)
+        context = ExplorationJobContext(factory, train, test, config)
+        cache = CellCache(tmp_path, context_fingerprint(context))
+        from repro.robustness.results import CellResult
+
+        cache.put(
+            tasks[0],
+            CellResult(
+                v_th=tasks[0].v_th,
+                time_window=tasks[0].time_window,
+                clean_accuracy=0.5,
+                learnable=True,
+                elapsed_seconds=12.5,
+                phase_seconds={"train_s": 10.0, "attack_s": 2.5},
+            ),
+        )
+        costs = cached_cell_costs(tmp_path)
+        assert costs == {(tasks[0].v_th, tasks[0].time_window): 12.5}
+        assert cached_sweep_costs(tmp_path) == {}
+
+    def test_scheduler_rejects_non_permutations(self):
+        tasks = [SimpleNamespace(index=0), SimpleNamespace(index=1)]
+        with pytest.raises(ValueError, match="permute"):
+            run_tasks(
+                None,
+                tasks,
+                lambda context, task: task.index,
+                pending_order=lambda pending: pending[:1],
+            )
+
+    def test_scheduler_returns_declared_order_despite_reordering(self):
+        tasks = [SimpleNamespace(index=i) for i in range(4)]
+        executed: list[int] = []
+
+        def run(context, task):
+            executed.append(task.index)
+            return task.index * 10
+
+        results, _stats = run_tasks(
+            None, tasks, run, pending_order=lambda pending: list(reversed(pending))
+        )
+        assert executed == [3, 2, 1, 0]
+        assert results == [0, 10, 20, 30]
+
+
+# -- cache stats timing totals ------------------------------------------------
+
+
+class TestCacheStatsTimings:
+    def test_phase_totals_aggregate_across_entries(self, tmp_path):
+        factory, train, test, config = _grid_fixture()
+        tasks = build_cell_tasks(config)
+        context = ExplorationJobContext(factory, train, test, config)
+        cache = CellCache(tmp_path, context_fingerprint(context))
+        from repro.robustness.results import CellResult
+
+        for task, train_s, attack_s in ((tasks[0], 4.0, 1.0), (tasks[1], 6.0, 3.0)):
+            cache.put(
+                task,
+                CellResult(
+                    v_th=task.v_th,
+                    time_window=task.time_window,
+                    clean_accuracy=0.5,
+                    learnable=True,
+                    elapsed_seconds=train_s + attack_s,
+                    phase_seconds={"train_s": train_s, "attack_s": attack_s},
+                ),
+            )
+        stats = cache_stats(tmp_path)
+        assert stats["timings"]["timed_entries"] == 2
+        assert stats["timings"]["totals"] == {
+            "elapsed_s": 14.0,
+            "train_s": 10.0,
+            "attack_s": 4.0,
+        }
+
+    def test_empty_directory_reports_zero_timings(self, tmp_path):
+        stats = cache_stats(tmp_path)
+        assert stats["timings"] == {"timed_entries": 0, "totals": {}}
