@@ -73,11 +73,11 @@ def _differences(left, right, path: str = "$") -> list[str]:
     return []
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("left", type=Path, help="reference result JSON")
     parser.add_argument("right", type=Path, help="candidate result JSON")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     payloads = []
     for path in (args.left, args.right):

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Launch an elastic grid fleet against one queue directory — and hurt it.
+
+Spawns N ``python -m repro.experiments grid --queue DIR`` worker
+subprocesses sharing a queue and cache directory, optionally SIGKILLs
+the first worker as soon as it holds a lease (``--kill-one``), waits for
+the survivors, and exits non-zero unless the queue ends complete.  This
+is the CI ``grid-queue`` job's driver and the fault-injection tests'
+subprocess harness: a dynamic fleet must *demonstrably* survive a dead
+worker, not assume it.
+
+Typical CI invocation::
+
+    python scripts/run_queue_fleet.py --profile micro --workers 3 \
+        --kill-one --queue fleet-q --lease-ttl 2
+
+then render via ``grid --resume --cache-dir fleet-q/cache`` and compare
+against an unsharded reference with ``scripts/compare_results.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def worker_env(worker_id: str) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    # Pin worker ids so event logs and assertions are deterministic.
+    env["REPRO_QUEUE_WORKER"] = worker_id
+    return env
+
+
+def spawn_worker(args, worker_id: str) -> subprocess.Popen:
+    command = [
+        sys.executable, "-m", "repro.experiments", "grid",
+        "--profile", args.profile,
+        "--queue", str(args.queue),
+        "--cache-dir", str(args.cache_dir),
+        "--lease-ttl", str(args.lease_ttl),
+    ]
+    if args.stack > 1:
+        command += ["--stack", str(args.stack)]
+    if args.resume:
+        command.append("--resume")
+    print(f"[fleet] starting {worker_id}: {' '.join(command)}")
+    return subprocess.Popen(
+        command,
+        env=worker_env(worker_id),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_lease(queue_dir: Path, timeout: float) -> tuple[Path, str] | None:
+    """Block until a parseable lease appears; return it with its owner.
+
+    The kill must target the worker that actually *holds* a lease —
+    worker 0 may still be importing numpy while a faster sibling claims
+    the first task, and SIGKILLing an idle worker would prove nothing.
+    """
+    import json
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for path in sorted(queue_dir.glob("lease_*.json")):
+            try:
+                owner = str(json.loads(path.read_text()).get("owner", ""))
+            except (OSError, ValueError):
+                continue  # claim in flight; come back on the next poll
+            if owner:
+                return path, owner
+        time.sleep(0.02)
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="micro")
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--queue", type=Path, required=True)
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="shared checkpoint directory (default: <queue>/cache)",
+    )
+    parser.add_argument("--lease-ttl", type=float, default=2.0)
+    parser.add_argument("--stack", type=int, default=1)
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument(
+        "--kill-one", action="store_true",
+        help="SIGKILL the first worker as soon as it holds a lease — the "
+        "survivors must steal the orphaned task and finish the grid",
+    )
+    parser.add_argument(
+        "--stagger", type=float, default=0.0,
+        help="seconds between worker launches (a ragged, late-joining fleet)",
+    )
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+    # Workers run with cwd=REPO_ROOT (so `-m repro.experiments` resolves),
+    # which would silently re-anchor relative --queue/--cache-dir paths
+    # away from the invoker's cwd — resolve them here instead.
+    args.queue = args.queue.resolve()
+    if args.cache_dir is None:
+        args.cache_dir = args.queue / "cache"
+    args.cache_dir = args.cache_dir.resolve()
+    if args.workers < 1 + int(args.kill_one):
+        parser.error("--kill-one needs at least two workers (one must survive)")
+
+    grid_queue = args.queue / "grid"
+    workers: list[subprocess.Popen] = []
+    worker_ids = [f"fleet-worker-{number}" for number in range(args.workers)]
+    for number, worker_id in enumerate(worker_ids):
+        if number and args.stagger:
+            time.sleep(args.stagger)
+        workers.append(spawn_worker(args, worker_id))
+
+    exit_code = 0
+    victim_index: int | None = None
+    try:
+        if args.kill_one:
+            found = wait_for_lease(grid_queue, timeout=args.timeout)
+            if found is None:
+                print("[fleet] no lease ever appeared; nothing to kill",
+                      file=sys.stderr)
+                exit_code = 1
+            else:
+                lease, owner = found
+                victim_index = (
+                    worker_ids.index(owner) if owner in worker_ids else 0
+                )
+                victim = workers[victim_index]
+                print(f"[fleet] SIGKILL worker {victim_index} "
+                      f"(pid {victim.pid}) while it holds {lease.name}")
+                victim.kill()
+                victim.wait()
+
+        deadline = time.monotonic() + args.timeout
+        for number, worker in enumerate(workers):
+            if number == victim_index:
+                continue  # the victim's exit code is meaningless
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                code = worker.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                print(f"[fleet] worker {number} timed out", file=sys.stderr)
+                exit_code = 1
+                continue
+            print(f"[fleet] worker {number} exited {code}")
+            if code != 0:
+                exit_code = 1
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait()
+
+    done = len(list(grid_queue.glob("done_*.json")))
+    leases = [p.name for p in grid_queue.glob("lease_*.json")]
+    print(f"[fleet] queue {grid_queue}: {done} task(s) committed"
+          + (f", leftover leases: {leases}" if leases else ""))
+    if done == 0:
+        print("[fleet] queue ended empty", file=sys.stderr)
+        exit_code = 1
+    if exit_code == 0:
+        print("[fleet] fleet complete; render with "
+              f"`grid --profile {args.profile} --resume --cache-dir "
+              f"{args.cache_dir}`")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,15 @@ from repro.engine.merge import (
     merge_cache_dirs,
     verify_cache_dir,
 )
+from repro.engine.queue import (
+    QueueError,
+    QueueRunResult,
+    WorkQueue,
+    merge_event_logs,
+    queue_status,
+    read_events,
+    run_queued_tasks,
+)
 from repro.engine.scheduler import (
     ContextSpec,
     ScheduleStats,
@@ -89,6 +98,8 @@ __all__ = [
     "ContextSpec",
     "ExplorationJobContext",
     "MergeReport",
+    "QueueError",
+    "QueueRunResult",
     "ScheduleStats",
     "ShardManifest",
     "ShardRunResult",
@@ -98,6 +109,7 @@ __all__ = [
     "SweepResult",
     "SweepTask",
     "WeightCache",
+    "WorkQueue",
     "build_cell_tasks",
     "cache_stats",
     "clear_cache_dir",
@@ -108,9 +120,13 @@ __all__ = [
     "make_cell_task",
     "make_sweep_task",
     "merge_cache_dirs",
+    "merge_event_logs",
+    "queue_status",
+    "read_events",
     "record_durable_manifest",
     "run_cell_task",
     "run_cell_tasks",
+    "run_queued_tasks",
     "run_sweep_task",
     "run_tasks",
     "scan_cache_dir",

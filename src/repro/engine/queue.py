@@ -1,0 +1,888 @@
+"""Elastic fleet: a filesystem-backed work-stealing task queue.
+
+Static ``--shard I/N`` partitioning (:mod:`repro.engine.shard`) strands
+wall-clock when cell costs are skewed: the slowest host finishes last
+while the others idle.  This module replaces the *static* partition with
+a *dynamic* one — any number of workers, on any host sharing a
+filesystem, join one queue directory and claim tasks as they go.  The
+static shard remains the degenerate pre-partitioned mode; because every
+task carries its own derived seeds, the two (and a serial run) produce
+byte-identical results.
+
+The protocol is plain files and three atomic primitives, so it needs no
+server and no locks held across work:
+
+* **claim** — a worker creates ``lease_<index>.json`` *exclusively*
+  (hard-link of a private temp file, the portable ``O_CREAT|O_EXCL``
+  with full content): exactly one claimer wins.  The lease records
+  owner, pid, host, acquire time, heartbeat and TTL.
+* **heartbeat** — a daemon thread rewrites each held lease (atomic
+  temp + ``os.replace``) every ``ttl/4`` seconds.  A lease whose
+  heartbeat is older than its TTL is *expired*: its owner is presumed
+  dead (SIGKILL, OOM, unplugged host).
+* **steal** — a worker renames an expired lease to a private tombstone
+  (``os.rename``: exactly one renamer succeeds) and then claims the
+  freed task normally.  Losing either race just means someone else got
+  there first.
+* **commit** — the task's result checkpoint is written through the
+  existing :class:`~repro.engine.cache.CellCache` /
+  :class:`~repro.engine.cache.SweepCache` atomic writes, then a
+  ``done_<index>.json`` marker is created exclusively.  The marker's
+  creator is *the* committer; a second worker finishing the same task
+  (possible when a presumed-dead owner was merely slow) records a
+  ``duplicate`` event instead — harmless, because checkpoints are
+  idempotent and byte-identical.
+
+Every worker also streams an append-only JSONL **event log**
+(``events_<worker>.jsonl`` in the queue directory): one line per claim,
+steal, commit, cache-hit and duplicate, carrying the task's checkpoint
+fingerprint, a sha256 checksum of the committed checkpoint bytes and the
+per-phase wall-clock timings.  :func:`merge_event_logs` /
+:func:`queue_status` merge the streams into a live coordinator view
+(``cache watch`` on the CLI).  A reader must survive a crash mid-append:
+:func:`read_events` skips a truncated final line with a warning instead
+of raising.
+
+See ``docs/sharding.md`` for the operational walkthrough and
+``tests/test_fleet_faults.py`` for the fault-injection proof (a worker
+SIGKILLed mid-lease; survivors steal and finish; results byte-identical
+to the serial reference).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.scheduler import ScheduleStats
+from repro.engine.shard import record_durable_manifest
+from repro.errors import ReproError
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "QueueError",
+    "QueueRunResult",
+    "WorkQueue",
+    "merge_event_logs",
+    "queue_status",
+    "read_events",
+    "run_queued_tasks",
+]
+
+_logger = get_logger("engine")
+
+DEFAULT_LEASE_TTL = 60.0
+"""Seconds without a heartbeat after which a lease counts as abandoned."""
+
+QUEUE_MANIFEST_NAME = "queue.json"
+"""Filename of the queue identity manifest inside a queue directory."""
+
+_QUEUE_VERSION = 1
+
+_WORKER_ENV = "REPRO_QUEUE_WORKER"
+"""Environment override for the worker id (tests pin it for determinism)."""
+
+
+class QueueError(ReproError):
+    """Raised when a worker cannot join or serve a work queue."""
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "._-" else "-" for c in name)
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``, unless :data:`_WORKER_ENV` overrides it."""
+    override = os.environ.get(_WORKER_ENV)
+    if override:
+        return _sanitize(override)
+    return _sanitize(f"{socket.gethostname()}-{os.getpid()}")
+
+
+def _write_json_exclusive(path: Path, payload: dict) -> bool:
+    """Atomically create ``path`` with ``payload`` iff it does not exist.
+
+    The portable full-content ``O_CREAT|O_EXCL``: the payload is written
+    to a private temp file first and *linked* into place, so a reader
+    can never observe a partially written claim.  Returns ``False`` when
+    the path already exists (someone else won the race).
+    """
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    try:
+        os.link(tmp, path)
+    except FileExistsError:
+        return False
+    finally:
+        tmp.unlink(missing_ok=True)
+    return True
+
+
+def _replace_json(path: Path, payload: dict) -> None:
+    """Atomic full rewrite (same temp + ``os.replace`` recipe as caches)."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict | None:
+    """Parse a protocol file; ``None`` when missing or unreadable."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse one ``events_*.jsonl`` stream, surviving a crash mid-append.
+
+    A worker killed between ``write()`` and the newline leaves a
+    truncated final line; a reader that raised on it would wedge the
+    coordinator view exactly when it is most needed.  Any unparseable
+    line — final or not — is skipped with a warning; everything else is
+    returned in file order.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError:
+        return []
+    events: list[dict] = []
+    lines = text.splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            kind = "truncated final" if number == len(lines) else "corrupt"
+            _logger.warning(
+                "skipping %s line %d of event log %s (crash mid-append?)",
+                kind, number, path,
+            )
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+def merge_event_logs(directory: str | Path) -> list[dict]:
+    """Union every worker's event stream in a queue directory, by time."""
+    directory = Path(directory)
+    events: list[dict] = []
+    for path in sorted(directory.glob("events_*.jsonl")):
+        events.extend(read_events(path))
+    events.sort(key=lambda e: (float(e.get("time", 0.0)), str(e.get("worker", ""))))
+    return events
+
+
+@dataclass(frozen=True)
+class QueueSnapshot:
+    """One scan of a queue directory's protocol files."""
+
+    done: frozenset[int]
+    """Task indices with a commit marker."""
+
+    active: dict[int, dict]
+    """Unexpired leases: ``index -> lease payload`` (done tasks excluded)."""
+
+    expired: dict[int, dict]
+    """Stale leases ripe for stealing: ``index -> lease payload``."""
+
+
+class WorkQueue:
+    """One worker's handle on a shared queue directory.
+
+    Opening the handle creates the directory and its identity manifest
+    (``queue.json``: experiment, context fingerprint, task count) — or
+    validates it, so a worker pointed at a queue serving a *different*
+    grid aborts instead of interleaving incompatible results.
+
+    The handle owns this worker's event log and lease bookkeeping; the
+    scheduling loop lives in :func:`run_queued_tasks`.  ``clock`` is
+    injectable so the invariant tests can drive expiry deterministically.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        experiment: str,
+        fingerprint: str,
+        task_count: int,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        worker: str | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.directory = Path(directory)
+        self.experiment = str(experiment)
+        self.fingerprint = str(fingerprint)
+        self.task_count = int(task_count)
+        self.lease_ttl = float(lease_ttl)
+        self.worker = _sanitize(worker) if worker else default_worker_id()
+        self.clock = clock
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._join()
+
+    # -- identity --------------------------------------------------------------
+
+    def _join(self) -> None:
+        identity = {
+            "version": _QUEUE_VERSION,
+            "experiment": self.experiment,
+            "fingerprint": self.fingerprint,
+            "task_count": self.task_count,
+        }
+        path = self.directory / QUEUE_MANIFEST_NAME
+        # Concurrent first joiners write identical bytes, so losing the
+        # creation race is indistinguishable from arriving second.
+        if not _write_json_exclusive(path, identity):
+            existing = _read_json(path)
+            if existing is None:
+                raise QueueError(
+                    f"queue manifest {path} exists but is unreadable; "
+                    "remove the directory to start a fresh queue"
+                )
+            mismatched = {
+                key: (existing.get(key), identity[key])
+                for key in ("experiment", "fingerprint", "task_count")
+                if existing.get(key) != identity[key]
+            }
+            if mismatched:
+                detail = ", ".join(
+                    f"{key}: queue has {theirs!r}, this run has {ours!r}"
+                    for key, (theirs, ours) in sorted(mismatched.items())
+                )
+                raise QueueError(
+                    f"queue {self.directory} serves a different task list "
+                    f"({detail}); point --queue at a fresh directory"
+                )
+
+    # -- paths -----------------------------------------------------------------
+
+    def lease_path(self, index: int) -> Path:
+        return self.directory / f"lease_{int(index)}.json"
+
+    def done_path(self, index: int) -> Path:
+        return self.directory / f"done_{int(index)}.json"
+
+    @property
+    def events_path(self) -> Path:
+        return self.directory / f"events_{self.worker}.jsonl"
+
+    # -- events ----------------------------------------------------------------
+
+    def append_event(self, event: str, index: int | None = None, **extra) -> None:
+        """Append one JSONL line to this worker's event stream (best effort)."""
+        payload = {"event": event, "worker": self.worker, "time": self.clock()}
+        if index is not None:
+            payload["task"] = int(index)
+        payload.update(extra)
+        try:
+            with open(self.events_path, "a") as stream:
+                stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        except OSError as error:
+            _logger.warning("event log append failed (run unaffected): %s", error)
+
+    # -- leases ----------------------------------------------------------------
+
+    def read_lease(self, index: int) -> dict | None:
+        """The lease payload, or ``None`` when the task is unleased.
+
+        An unparseable lease (a claimer died inside the claim itself, or
+        the file is mid-``os.replace`` on a non-atomic filesystem) still
+        *blocks* the task, with the file's mtime standing in for the
+        heartbeat — so it expires like any abandoned lease instead of
+        wedging the queue or being stolen while its writer is alive.
+        """
+        path = self.lease_path(index)
+        payload = _read_json(path)
+        if payload is not None:
+            return payload
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return None
+        return {"task_index": int(index), "owner": "", "heartbeat": mtime,
+                "ttl": self.lease_ttl}
+
+    def lease_expired(self, lease: dict) -> bool:
+        """Whether a lease payload's heartbeat is older than its TTL."""
+        heartbeat = float(lease.get("heartbeat", 0.0))
+        ttl = float(lease.get("ttl", self.lease_ttl))
+        return self.clock() - heartbeat > ttl
+
+    def _lease_payload(self, index: int) -> dict:
+        now = self.clock()
+        return {
+            "task_index": int(index),
+            "owner": self.worker,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "acquired": now,
+            "heartbeat": now,
+            "ttl": self.lease_ttl,
+        }
+
+    def claim(self, index: int) -> bool:
+        """Try to lease an unleased task; ``True`` iff this worker won."""
+        if self.is_done(index):
+            return False
+        return _write_json_exclusive(self.lease_path(index), self._lease_payload(index))
+
+    def steal(self, index: int) -> bool:
+        """Take over an *expired* lease; ``True`` iff this worker now holds it.
+
+        Exactly-one-stealer: the expired lease is renamed to a private
+        tombstone first (one renamer succeeds; the losers see
+        ``FileNotFoundError`` and back off), then the freed slot is
+        claimed normally — which can still lose to a concurrent fresh
+        claimer, and that is fine.
+        """
+        lease = self.read_lease(index)
+        if lease is None or not self.lease_expired(lease):
+            return False
+        tombstone = self.directory / f".lease_{int(index)}.stolen.{self.worker}.{os.getpid()}"
+        try:
+            os.rename(self.lease_path(index), tombstone)
+        except OSError:
+            return False  # another stealer (or the release) got there first
+        tombstone.unlink(missing_ok=True)
+        if not self.claim(index):
+            return False
+        self.append_event("steal", index, victim=str(lease.get("owner", "")))
+        return True
+
+    def acquire(self, index: int) -> tuple[bool, bool]:
+        """Claim a task, stealing its lease if abandoned.
+
+        Returns ``(acquired, stolen)``.  A fresh claim logs a ``claim``
+        event; a successful steal logs ``steal``.
+        """
+        if self.is_done(index):
+            return False, False
+        lease = self.read_lease(index)
+        if lease is None:
+            if self.claim(index):
+                self.append_event("claim", index)
+                return True, False
+            return False, False
+        if self.lease_expired(lease) and self.steal(index):
+            return True, True
+        return False, False
+
+    def refresh(self, index: int) -> bool:
+        """Re-stamp a held lease's heartbeat; ``True`` iff still held.
+
+        Refuses when the lease vanished or changed owner (it was stolen
+        because *we* were presumed dead — the thief now owns the task,
+        and resurrecting the lease would fight it).
+        """
+        path = self.lease_path(index)
+        lease = _read_json(path)
+        if lease is None or lease.get("owner") != self.worker:
+            return False
+        lease["heartbeat"] = self.clock()
+        try:
+            _replace_json(path, lease)
+        except OSError:
+            return False
+        return True
+
+    def release(self, index: int) -> None:
+        """Drop this worker's lease (no-op when already gone or stolen)."""
+        lease = _read_json(self.lease_path(index))
+        if lease is not None and lease.get("owner") == self.worker:
+            self.lease_path(index).unlink(missing_ok=True)
+
+    # -- commits ---------------------------------------------------------------
+
+    def is_done(self, index: int) -> bool:
+        return self.done_path(index).exists()
+
+    def done_indices(self) -> set[int]:
+        """Task indices with a commit marker in the queue directory."""
+        done: set[int] = set()
+        for path in self.directory.glob("done_*.json"):
+            try:
+                done.add(int(path.stem.removeprefix("done_")))
+            except ValueError:
+                continue
+        return done
+
+    def commit(
+        self,
+        index: int,
+        *,
+        fingerprint: str = "",
+        checksum: str = "",
+        elapsed: float | None = None,
+        phase_seconds: dict | None = None,
+        cached: bool = False,
+    ) -> bool:
+        """Record a task as done, exactly once across the whole fleet.
+
+        The ``done_<index>.json`` marker is created exclusively: its
+        creator logs a ``commit`` (or ``cached``) event and returns
+        ``True``; anyone else logs a ``duplicate`` — which happens when
+        a slow-but-alive owner finishes after its lease was stolen, and
+        is harmless because the checkpoint writes are idempotent.
+        """
+        marker = {
+            "task_index": int(index),
+            "worker": self.worker,
+            "time": self.clock(),
+            "fingerprint": str(fingerprint),
+            "checksum": str(checksum),
+        }
+        detail = {
+            "fingerprint": str(fingerprint),
+            "checksum": str(checksum),
+            "elapsed_s": None if elapsed is None else round(float(elapsed), 6),
+            "phase_seconds": dict(phase_seconds or {}),
+        }
+        if _write_json_exclusive(self.done_path(index), marker):
+            self.append_event("cached" if cached else "commit", index, **detail)
+            return True
+        self.append_event("duplicate", index, **detail)
+        return False
+
+    # -- scanning --------------------------------------------------------------
+
+    def snapshot(self) -> QueueSnapshot:
+        """Scan the directory once: done markers, live and stale leases."""
+        done = self.done_indices()
+        active: dict[int, dict] = {}
+        expired: dict[int, dict] = {}
+        for path in self.directory.glob("lease_*.json"):
+            try:
+                index = int(path.stem.removeprefix("lease_"))
+            except ValueError:
+                continue
+            if index in done:
+                continue  # post-commit stragglers; nobody waits on these
+            lease = self.read_lease(index)
+            if lease is None:
+                continue
+            (expired if self.lease_expired(lease) else active)[index] = lease
+        return QueueSnapshot(done=frozenset(done), active=active, expired=expired)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every task in the declared list has a commit marker."""
+        return len(self.done_indices()) >= self.task_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkQueue({str(self.directory)!r}, experiment={self.experiment!r}, "
+            f"worker={self.worker!r}, tasks={self.task_count})"
+        )
+
+
+class _HeartbeatThread(threading.Thread):
+    """Daemon re-stamping the worker's held leases every ``ttl/4``.
+
+    Runs beside the (potentially minutes-long) task evaluation so the
+    lease outlives any single training phase; dies with the process, so
+    a SIGKILLed worker stops heartbeating and its lease expires.
+    """
+
+    def __init__(self, queue: WorkQueue) -> None:
+        super().__init__(daemon=True, name=f"queue-heartbeat-{queue.worker}")
+        self._queue = queue
+        self._interval = max(queue.lease_ttl / 4.0, 0.05)
+        self._held: set[int] = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    def hold(self, index: int) -> None:
+        with self._lock:
+            self._held.add(int(index))
+
+    def drop(self, index: int) -> None:
+        with self._lock:
+            self._held.discard(int(index))
+
+    def held(self) -> set[int]:
+        with self._lock:
+            return set(self._held)
+
+    def run(self) -> None:
+        while not self._stop.wait(self._interval):
+            for index in self.held():
+                self._queue.refresh(index)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+@dataclass(frozen=True)
+class QueueRunResult:
+    """What one queue worker contributed (instead of a figure).
+
+    Like a :class:`~repro.engine.shard.ShardRunResult`, a queue worker
+    cannot render the full figure — other workers computed part of it —
+    so it returns this summary; the figure is rendered afterwards by a
+    ``--resume`` run against the shared cache directory.
+    """
+
+    experiment: str
+    worker: str
+    queue_dir: str
+    task_count: int
+    """Length of the full task list served by the queue."""
+
+    committed: tuple[int, ...]
+    """Task ids whose commit marker *this worker* created."""
+
+    stolen: int
+    """How many of those came from stealing an expired lease."""
+
+    manifest_path: str | None
+    """Where the completion manifest was recorded (for ``cache verify``)."""
+
+    events_path: str
+    """This worker's JSONL event stream."""
+
+    metadata: dict = field(default_factory=dict)
+    """Engine accounting, same shape as the full-run results carry."""
+
+    @property
+    def complete(self) -> bool:
+        """Whether the whole queue was complete when this worker left."""
+        return bool(self.metadata.get("queue_complete"))
+
+    def render(self) -> str:
+        """One-paragraph text summary of this worker's queue run."""
+        lines = [
+            f"queue worker '{self.worker}' on experiment '{self.experiment}': "
+            f"committed {len(self.committed)}/{self.task_count} tasks"
+            + (f" ({self.stolen} stolen)" if self.stolen else ""),
+            f"queue: {self.queue_dir}",
+            f"events: {self.events_path}",
+        ]
+        if self.manifest_path:
+            lines.append(f"manifest: {self.manifest_path}")
+        if self.complete:
+            lines.append(
+                "queue complete — render figures via a --resume run against "
+                "the shared cache directory"
+            )
+        else:
+            lines.append(
+                "queue not yet complete — other workers are still serving it "
+                "(watch with `cache watch --queue DIR`)"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "experiment": self.experiment,
+            "worker": self.worker,
+            "queue_dir": self.queue_dir,
+            "task_count": self.task_count,
+            "committed": list(self.committed),
+            "stolen": self.stolen,
+            "manifest_path": self.manifest_path,
+            "events_path": self.events_path,
+            "metadata": dict(self.metadata),
+        }
+
+
+def _checkpoint_digest(path: Path) -> str:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return ""
+
+
+def run_queued_tasks(
+    context,
+    tasks: Sequence,
+    run_fn: Callable,
+    cache,
+    queue_dir: str | Path,
+    *,
+    experiment: str,
+    cache_dir: str | Path | None = None,
+    resume: bool = False,
+    progress: Callable | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    pending_order: Callable[[list], list] | None = None,
+    worker: str | None = None,
+    stack: int = 1,
+    poll_interval: float | None = None,
+) -> tuple[QueueRunResult, ScheduleStats]:
+    """Serve a task list as one worker of a dynamic fleet.
+
+    The queue sibling of :func:`repro.engine.scheduler.run_tasks`: same
+    job functions, same caches, same progress callback — but instead of
+    a pre-partitioned slice, the worker repeatedly scans the queue
+    directory, claims (or steals) the most expensive claimable task, runs
+    it, and commits the checkpoint plus an event-log line.  It returns
+    when every task in the list has a commit marker, however many other
+    workers contributed.
+
+    ``cache`` is mandatory: in queue mode the checkpoint directory *is*
+    the result transport between workers, so a failed cache write is a
+    hard :class:`QueueError`, not the soft warning of the local
+    scheduler.  ``pending_order`` prices the claim order (the runners
+    pass the cost model's longest-first ordering); ``stack > 1`` claims
+    up to that many cells per round and folds compatible ones through
+    :func:`~repro.engine.stacking.run_stacked_group`, bitwise identical
+    per cell.  ``resume`` serves already-checkpointed tasks straight
+    into commit markers, which makes a replay over a finished queue a
+    no-op.
+    """
+    if cache is None:
+        raise ValueError(
+            "queue mode requires a cache: the checkpoint directory is how "
+            "workers exchange results"
+        )
+    if stack < 1:
+        raise ValueError(f"stack must be >= 1, got {stack}")
+    tasks = list(tasks)
+    by_index = {task.index: task for task in tasks}
+    if len(by_index) != len(tasks):
+        raise ValueError("task indices must be unique")
+    start = time.perf_counter()
+    queue = WorkQueue(
+        queue_dir,
+        experiment=experiment,
+        fingerprint=cache.fingerprint,
+        task_count=len(tasks),
+        lease_ttl=lease_ttl,
+        worker=worker,
+    )
+    poll = poll_interval if poll_interval is not None else min(
+        max(lease_ttl / 4.0, 0.05), 0.5
+    )
+    committed: list[int] = []
+    cached_served = 0
+    stolen = 0
+
+    def commit(task, result, *, cached: bool) -> None:
+        nonlocal cached_served
+        if not cached:
+            try:
+                cache.put(task, result)
+            except OSError as error:
+                raise QueueError(
+                    f"cannot checkpoint task {task.index} into {cache.directory}: "
+                    f"{error} — in queue mode the cache is the result transport, "
+                    "so this worker cannot contribute"
+                ) from error
+        path = cache.path_for(task)
+        created = queue.commit(
+            task.index,
+            fingerprint=path.name,
+            checksum=_checkpoint_digest(path),
+            elapsed=getattr(result, "elapsed_seconds", None),
+            phase_seconds=getattr(result, "phase_seconds", None),
+            cached=cached,
+        )
+        if created:
+            committed.append(task.index)
+            if cached:
+                cached_served += 1
+        if progress is not None:
+            progress(task, result, cached)
+
+    manifest_path: str | None = None
+    heartbeat = _HeartbeatThread(queue)
+    heartbeat.start()
+    try:
+        if resume:
+            # Serve warm checkpoints straight into commit markers — no
+            # lease needed, the result already exists.  This is what makes
+            # a replay over a completed queue a no-op.
+            for task in tasks:
+                if queue.is_done(task.index):
+                    continue
+                result = cache.get(task)
+                if result is not None:
+                    commit(task, result, cached=True)
+        while True:
+            state = queue.snapshot()
+            if len(state.done) >= len(tasks):
+                break
+            claimable = [
+                task for task in tasks
+                if task.index not in state.done and task.index not in state.active
+            ]
+            if pending_order is not None and claimable:
+                claimable = list(pending_order(claimable))
+            held: list = []
+            for task in claimable:
+                if len(held) >= stack:
+                    break
+                acquired, was_steal = queue.acquire(task.index)
+                if acquired:
+                    heartbeat.hold(task.index)
+                    held.append(task)
+                    stolen += int(was_steal)
+            if not held:
+                # Nothing claimable right now: everything pending is
+                # actively leased elsewhere (or we lost every race).
+                # Wait for commits or expiries.
+                time.sleep(poll)
+                continue
+            try:
+                if stack > 1 and len(held) > 1:
+                    from repro.engine.stacking import pack_stacks, run_stacked_group
+
+                    groups, singles = pack_stacks(context, held, stack)
+                    for group_tasks, group_models in groups:
+                        results = run_stacked_group(context, group_tasks, group_models)
+                        for task, result in zip(group_tasks, results):
+                            commit(task, result, cached=False)
+                    for task in singles:
+                        commit(task, run_fn(context, task), cached=False)
+                else:
+                    for task in held:
+                        commit(task, run_fn(context, task), cached=False)
+            except Exception:
+                for task in held:
+                    queue.append_event("failed", task.index)
+                raise
+            finally:
+                for task in held:
+                    heartbeat.drop(task.index)
+                    queue.release(task.index)
+    finally:
+        heartbeat.stop()
+        for index in heartbeat.held():
+            queue.release(index)
+        if cache_dir is not None:
+            # Certify whatever checkpoints are durable, exactly like the
+            # static shard runners: the last worker out sees everything,
+            # so `cache verify` can vouch for the shared directory.
+            manifest_path = record_durable_manifest(
+                cache_dir, cache, experiment, tasks, None
+            )
+    stats = ScheduleStats(
+        jobs=1,
+        total_cells=len(tasks),
+        cached_cells=cached_served,
+        computed_cells=len(committed) - cached_served,
+        elapsed_seconds=time.perf_counter() - start,
+        workers=[queue.worker],
+        start_method="queue",
+        shard="",
+    )
+    result = QueueRunResult(
+        experiment=experiment,
+        worker=queue.worker,
+        queue_dir=str(queue.directory),
+        task_count=len(tasks),
+        committed=tuple(committed),
+        stolen=stolen,
+        manifest_path=manifest_path,
+        events_path=str(queue.events_path),
+        metadata={"engine": stats.as_dict(), "queue_complete": queue.complete},
+    )
+    return result, stats
+
+
+def queue_status(directory: str | Path, now: float | None = None) -> dict:
+    """Merge a queue directory's protocol state into one coordinator view.
+
+    The data behind ``cache watch``: the identity manifest, done count,
+    live and expired leases, and per-worker totals aggregated from every
+    event stream (commits, steals, cache hits, duplicates, phase-second
+    sums).  Purely read-only — safe to run beside a live fleet.
+    """
+    directory = Path(directory)
+    now = time.time() if now is None else now
+    identity = _read_json(directory / QUEUE_MANIFEST_NAME)
+    task_count = int(identity.get("task_count", 0)) if identity else 0
+
+    done: set[int] = set()
+    for path in directory.glob("done_*.json"):
+        try:
+            done.add(int(path.stem.removeprefix("done_")))
+        except ValueError:
+            continue
+
+    active: list[dict] = []
+    expired: list[dict] = []
+    for path in directory.glob("lease_*.json"):
+        try:
+            index = int(path.stem.removeprefix("lease_"))
+        except ValueError:
+            continue
+        if index in done:
+            continue
+        lease = _read_json(path)
+        if lease is None:
+            try:
+                lease = {"task_index": index, "owner": "",
+                         "heartbeat": path.stat().st_mtime}
+            except OSError:
+                continue
+        age = max(0.0, now - float(lease.get("heartbeat", now)))
+        entry = {
+            "task": index,
+            "owner": str(lease.get("owner", "")),
+            "heartbeat_age_s": round(age, 3),
+        }
+        ttl = float(lease.get("ttl", DEFAULT_LEASE_TTL))
+        (expired if age > ttl else active).append(entry)
+    active.sort(key=lambda e: e["task"])
+    expired.sort(key=lambda e: e["task"])
+
+    workers: dict[str, dict] = {}
+    phase_totals: dict[str, float] = {}
+    events = merge_event_logs(directory)
+    for event in events:
+        name = str(event.get("worker", "?"))
+        bucket = workers.setdefault(
+            name,
+            {"claims": 0, "steals": 0, "commits": 0, "cached": 0,
+             "duplicates": 0, "failed": 0, "elapsed_s": 0.0},
+        )
+        kind = event.get("event")
+        if kind == "claim":
+            bucket["claims"] += 1
+        elif kind == "steal":
+            bucket["steals"] += 1
+            bucket["claims"] += 1
+        elif kind == "commit":
+            bucket["commits"] += 1
+            bucket["elapsed_s"] += float(event.get("elapsed_s") or 0.0)
+            for phase, value in (event.get("phase_seconds") or {}).items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + float(value)
+        elif kind == "cached":
+            bucket["cached"] += 1
+        elif kind == "duplicate":
+            bucket["duplicates"] += 1
+        elif kind == "failed":
+            bucket["failed"] += 1
+    for bucket in workers.values():
+        bucket["elapsed_s"] = round(bucket["elapsed_s"], 3)
+
+    return {
+        "directory": str(directory),
+        "experiment": None if identity is None else identity.get("experiment"),
+        "fingerprint": None if identity is None else identity.get("fingerprint"),
+        "task_count": task_count,
+        "done": len(done),
+        "complete": bool(identity) and len(done) >= task_count,
+        "active_leases": active,
+        "expired_leases": expired,
+        "workers": {name: workers[name] for name in sorted(workers)},
+        "phase_totals": {k: round(v, 3) for k, v in sorted(phase_totals.items())},
+        "events": len(events),
+    }

@@ -267,7 +267,17 @@ def load_manifests(directory: str | Path) -> dict[str, ShardManifest]:
     path = Path(directory) / MANIFEST_NAME
     try:
         payload = json.loads(path.read_text())
-    except (OSError, ValueError):
+    except OSError:
+        return {}
+    except ValueError:
+        # A writer crashed mid-write (or the file was truncated by a full
+        # disk).  Treat it like the caches treat corruption — a miss — but
+        # say so: a silently vanishing manifest would look like "nothing
+        # sharded ever ran here" to `cache verify`.
+        _logger.warning(
+            "shard manifest %s is unreadable (crash mid-write?); "
+            "treating it as absent", path,
+        )
         return {}
     if not isinstance(payload, dict) or payload.get("version") != _MANIFEST_VERSION:
         return {}

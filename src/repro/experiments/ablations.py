@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.engine.queue import DEFAULT_LEASE_TTL, QueueRunResult
 from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.engine.sweep import SweepResult, SweepTask
 from repro.experiments.profiles import ExperimentProfile, get_profile
@@ -143,7 +144,9 @@ def run_ablation_suite(
     surrogate_families: tuple[str, ...] = DEFAULT_SURROGATE_FAMILIES,
     attack_families: tuple[str, ...] = DEFAULT_ATTACK_FAMILIES,
     shard: ShardSpec | None = None,
-) -> dict[str, AblationResult] | ShardRunResult:
+    queue_dir: str | Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> dict[str, AblationResult] | ShardRunResult | QueueRunResult:
     """Run the requested ablation factors as one scheduled job batch.
 
     Returns ``{factor: AblationResult}`` keyed by the CLI factor names
@@ -156,7 +159,10 @@ def run_ablation_suite(
     this re-attacks trained models without retraining them.  With
     ``shard``, only the shard's slice of the suite runs and a
     :class:`~repro.engine.shard.ShardRunResult` summary is returned
-    instead of the per-factor tables.
+    instead of the per-factor tables.  With ``queue_dir``, the run joins
+    the dynamic work queue under ``<queue_dir>/ablation`` as one worker
+    of an elastic fleet and returns its
+    :class:`~repro.engine.queue.QueueRunResult`.
     """
     if isinstance(profile, str):
         profile = get_profile(profile)
@@ -183,7 +189,11 @@ def run_ablation_suite(
         resume=resume,
         start_method=start_method,
         shard=shard,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
     )
+    if queue_dir is not None:
+        return results  # the worker's QueueRunResult; no tables yet
     if shard is not None:
         return shard_run_result("ablation", shard, tasks, metadata)
     return _group_by_factor(tasks, results, metadata)

@@ -13,6 +13,12 @@ from pathlib import Path
 
 from repro.engine import CellCache, context_fingerprint
 from repro.engine.costs import cached_cell_costs, order_cell_tasks
+from repro.engine.job import run_cell_task
+from repro.engine.queue import (
+    DEFAULT_LEASE_TTL,
+    QueueRunResult,
+    run_queued_tasks,
+)
 from repro.engine.scheduler import run_cell_tasks
 from repro.engine.stacking import run_stacked_cell_tasks
 from repro.engine.shard import (
@@ -108,6 +114,56 @@ def _run_grid_shard(
     )
 
 
+def _run_grid_queue(
+    explorer: RobustnessExplorer,
+    context,
+    cache: CellCache,
+    cache_dir: str | Path,
+    queue_dir: Path,
+    lease_ttl: float,
+    profile: ExperimentProfile,
+    verbose: bool,
+    resume: bool,
+    stack: int,
+) -> QueueRunResult:
+    """One worker of a dynamic grid fleet: claim, compute, commit.
+
+    The queue sibling of :func:`_run_grid_shard` — the figure is
+    rendered later by a ``--resume`` run against the shared cache, once
+    ``cache watch`` (or ``cache verify``) says the queue is complete.
+    """
+    tasks = explorer.tasks()
+    served = 0
+
+    def progress(task, cell, from_cache: bool) -> None:
+        nonlocal served
+        served += 1
+        if verbose:
+            _logger.info(
+                "[queue %d] Vth=%g T=%d acc=%.3f%s",
+                served, task.v_th, task.time_window,
+                cell.clean_accuracy, " (cached)" if from_cache else "",
+            )
+
+    costs = cached_cell_costs(cache.directory)
+    result, _stats = run_queued_tasks(
+        context,
+        tasks,
+        run_cell_task,
+        cache,
+        queue_dir,
+        experiment="grid",
+        cache_dir=cache_dir,
+        resume=resume,
+        progress=progress,
+        lease_ttl=lease_ttl,
+        pending_order=lambda pending: order_cell_tasks(pending, costs),
+        stack=stack,
+    )
+    result.metadata["profile"] = profile.name
+    return result
+
+
 def run_grid_exploration(
     profile: ExperimentProfile | str = "smoke",
     verbose: bool = False,
@@ -117,7 +173,9 @@ def run_grid_exploration(
     start_method: str = "auto",
     shard: ShardSpec | None = None,
     stack: int = 1,
-) -> ExplorationResult | ShardRunResult:
+    queue_dir: str | Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> ExplorationResult | ShardRunResult | QueueRunResult:
     """Run Algorithm 1 over the profile's grid (Figs. 6-8 in one pass).
 
     Parameters
@@ -157,9 +215,25 @@ def run_grid_exploration(
         shard's slice is packed) and with ``cache_dir``/``resume``
         (checkpoints and weight archives stay per-cell and
         fingerprint-identical to the unstacked path).
+    queue_dir:
+        Join the dynamic work queue rooted at this directory (the grid
+        queue lives in its ``grid/`` subdirectory) as one worker of an
+        elastic fleet, and return a
+        :class:`~repro.engine.queue.QueueRunResult` summary instead of
+        the heat maps.  Mutually exclusive with ``shard`` (the static
+        pre-partitioned mode) and requires ``cache_dir`` — the shared
+        checkpoint directory is how workers exchange results.
+    lease_ttl:
+        Queue mode only: seconds without a heartbeat after which another
+        worker may steal a task lease from a presumed-dead owner.
     """
     if resume and cache_dir is None:
         raise ValueError("resume=True requires cache_dir to resume from")
+    if queue_dir is not None and shard is not None:
+        raise ValueError("queue_dir (dynamic fleet) conflicts with shard (static)")
+    if queue_dir is not None and cache_dir is None:
+        raise ValueError("queue_dir requires cache_dir: the shared checkpoint "
+                         "directory is how queue workers exchange results")
     if isinstance(profile, str):
         profile = get_profile(profile)
     context = build_grid_context(profile, cache_dir=cache_dir, reuse_weights=resume)
@@ -183,6 +257,11 @@ def run_grid_exploration(
             },
         )
         cache = CellCache(cache_dir, fingerprint)
+    if queue_dir is not None:
+        return _run_grid_queue(
+            explorer, context, cache, cache_dir, Path(queue_dir) / "grid",
+            lease_ttl, profile, verbose, resume, stack,
+        )
     spec = spawn_spec_for("build_grid_context", profile, cache_dir, resume)
     if shard is not None:
         return _run_grid_shard(

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.engine.queue import DEFAULT_LEASE_TTL, QueueRunResult
 from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.engine.sweep import SweepResult, SweepTask
 from repro.experiments.profiles import ExperimentProfile, get_profile
@@ -105,7 +106,9 @@ def run_fig9(
     start_method: str = "auto",
     epsilons: tuple[float, ...] | None = None,
     shard: ShardSpec | None = None,
-) -> Fig9Result | ShardRunResult:
+    queue_dir: str | Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> Fig9Result | ShardRunResult | QueueRunResult:
     """Reproduce the Figure-9 sweet-spot tracking under ``profile``.
 
     Parameters
@@ -133,6 +136,13 @@ def run_fig9(
         :class:`~repro.engine.shard.ShardRunResult` summary instead of
         the figure — the figure is rendered later, from the merged
         caches, by an unsharded ``resume`` run.
+    queue_dir:
+        Join the dynamic work queue under ``<queue_dir>/fig9`` as one
+        worker of an elastic fleet and return a
+        :class:`~repro.engine.queue.QueueRunResult` summary; mutually
+        exclusive with ``shard`` and requires ``cache_dir``.
+    lease_ttl:
+        Queue mode only: lease expiry (seconds) for work stealing.
     """
     if isinstance(profile, str):
         profile = get_profile(profile)
@@ -148,7 +158,11 @@ def run_fig9(
         resume=resume,
         start_method=start_method,
         shard=shard,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
     )
+    if queue_dir is not None:
+        return results  # the worker's QueueRunResult; no figure yet
     if shard is not None:
         return shard_run_result("fig9", shard, tasks, metadata)
 

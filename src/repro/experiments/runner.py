@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections.abc import Callable
 from pathlib import Path
 
@@ -46,6 +47,12 @@ from repro.engine.cache import (
     scan_cache_dir,
 )
 from repro.engine.merge import CacheMergeError, merge_cache_dirs, verify_cache_dir
+from repro.engine.queue import (
+    DEFAULT_LEASE_TTL,
+    QueueRunResult,
+    WorkQueue,
+    queue_status,
+)
 from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.experiments.ablations import run_ablation_suite
 from repro.experiments.fig1_motivation import run_fig1
@@ -62,7 +69,7 @@ from repro.experiments.sweeps import ABLATION_FACTORS
 __all__ = ["build_parser", "main"]
 
 _START_METHODS = ("auto", "fork", "spawn")
-_CACHE_ACTIONS = ("stats", "inspect", "clear", "gc", "merge", "verify")
+_CACHE_ACTIONS = ("stats", "inspect", "clear", "gc", "merge", "verify", "watch")
 
 _DEFAULT_CACHE_DIR = Path(".repro_cache") / "cells"
 
@@ -163,6 +170,28 @@ def build_parser() -> argparse.ArgumentParser:
         "its own --cache-dir; merge them afterwards with `cache merge` and "
         "render figures via an unsharded --resume run",
     )
+    engine.add_argument(
+        "--queue",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="join the dynamic work queue rooted at DIR as one worker of "
+        "an elastic fleet: tasks are claimed (and stolen from dead "
+        "workers) instead of pre-partitioned.  All workers must share "
+        "DIR and the cache directory (default: DIR/cache); watch "
+        "progress with `cache watch --queue DIR` and render figures via "
+        "a --resume run once complete.  Conflicts with --shard, "
+        "--no-cache and --jobs > 1 (scale by starting more workers)",
+    )
+    engine.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="queue mode only: seconds without a heartbeat after which a "
+        f"task lease counts as abandoned and may be stolen (default: "
+        f"{DEFAULT_LEASE_TTL:g})",
+    )
 
     epsilons = argparse.ArgumentParser(add_help=False)
     epsilons.add_argument(
@@ -218,7 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="stats: aggregate counts/sizes; inspect: list entries; "
         "clear: delete entries; gc: delete by age and/or fingerprint; "
         "merge: union shard cache directories into --into; "
-        "verify: check a directory's shard manifest for completeness",
+        "verify: check a directory's shard manifest for completeness; "
+        "watch: render a live fleet's merged queue progress",
     )
     cache.add_argument(
         "sources",
@@ -258,6 +288,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="stats/inspect: emit machine-readable JSON",
+    )
+    cache.add_argument(
+        "--queue",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="watch only: the queue directory a fleet shares (the one "
+        "passed to the workers' --queue); experiment queues in its "
+        "subdirectories are aggregated",
+    )
+    cache.add_argument(
+        "--follow",
+        action="store_true",
+        help="watch only: keep re-rendering until the queue completes "
+        "instead of printing one snapshot",
     )
     return parser
 
@@ -306,10 +351,58 @@ def _emit_shard_result(
     )
 
 
+def _emit_queue_result(
+    result: QueueRunResult, out_dir: Path | None, profile_name: str
+) -> None:
+    """Render and persist one queue worker's completion summary.
+
+    Artifacts are suffixed with the worker id (``..._queue-host-123.json``)
+    so a whole fleet can share an ``--out`` directory without clobbering
+    each other or the eventual full-figure artifact.
+    """
+    print(result.render())
+    _print_engine_summary(result.metadata)
+    _write_json(
+        out_dir,
+        f"{result.experiment}_{profile_name}_queue-{result.worker}",
+        result.as_dict(),
+    )
+
+
 def _run_fig1(profile, out_dir: Path | None) -> None:
     result = run_fig1(profile, verbose=True)
     print(result.render())
     _write_json(out_dir, f"fig1_{profile.name}", result.as_dict())
+
+
+def _run_fig1_queued(
+    profile, out_dir: Path | None, queue_dir: Path, lease_ttl: float
+) -> None:
+    """fig1's slot in a queued ``all`` run: exactly one worker computes it.
+
+    fig1 has no engine port (it is serial and uncached), so a fleet
+    arbitrates it through a one-task queue in ``<queue_dir>/fig1``: the
+    worker that wins the lease runs the figure, everyone else skips it —
+    and if the winner dies mid-figure, a later worker steals the expired
+    lease exactly like any grid cell.
+    """
+    queue = WorkQueue(
+        queue_dir / "fig1",
+        experiment="fig1",
+        fingerprint=f"fig1:{profile.name}",
+        task_count=1,
+        lease_ttl=lease_ttl,
+    )
+    acquired, _stolen = queue.acquire(0)
+    if not acquired:
+        state = "already done" if queue.is_done(0) else "another worker has it"
+        print(f"[queue] skipping fig1: {state}")
+        return
+    try:
+        _run_fig1(profile, out_dir)
+        queue.commit(0, fingerprint=f"fig1_{profile.name}")
+    finally:
+        queue.release(0)
 
 
 def _run_grid(
@@ -321,6 +414,8 @@ def _run_grid(
     start_method: str = "auto",
     shard: ShardSpec | None = None,
     stack: int = 1,
+    queue_dir: Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> None:
     from repro.errors import ExplorationError
     from repro.robustness import select_sweet_spots
@@ -334,7 +429,12 @@ def _run_grid(
         start_method=start_method,
         shard=shard,
         stack=stack,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
     )
+    if isinstance(result, QueueRunResult):
+        _emit_queue_result(result, out_dir, profile.name)
+        return
     if isinstance(result, ShardRunResult):
         _emit_shard_result(result, out_dir, profile.name)
         return
@@ -364,6 +464,8 @@ def _run_fig9(
     start_method: str = "auto",
     epsilons: tuple[float, ...] | None = None,
     shard: ShardSpec | None = None,
+    queue_dir: Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> None:
     result = run_fig9(
         profile,
@@ -374,7 +476,12 @@ def _run_fig9(
         start_method=start_method,
         epsilons=epsilons,
         shard=shard,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
     )
+    if isinstance(result, QueueRunResult):
+        _emit_queue_result(result, out_dir, profile.name)
+        return
     if isinstance(result, ShardRunResult):
         _emit_shard_result(result, out_dir, profile.name)
         return
@@ -393,6 +500,8 @@ def _run_ablation(
     start_method: str = "auto",
     epsilons: tuple[float, ...] | None = None,
     shard: ShardSpec | None = None,
+    queue_dir: Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> None:
     suite = run_ablation_suite(
         profile,
@@ -404,7 +513,12 @@ def _run_ablation(
         start_method=start_method,
         epsilons=epsilons,
         shard=shard,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
     )
+    if isinstance(suite, QueueRunResult):
+        _emit_queue_result(suite, out_dir, profile.name)
+        return
     if isinstance(suite, ShardRunResult):
         _emit_shard_result(suite, out_dir, profile.name)
         return
@@ -495,8 +609,125 @@ def _run_cache_verify(args) -> int:
     return 0 if ok else 1
 
 
+def _print_queue_status(status: dict) -> None:
+    fingerprint = (status.get("fingerprint") or "")[:12]
+    header = (
+        f"queue {status['directory']}: {status.get('experiment') or '?'}"
+        + (f" [{fingerprint}]" if fingerprint else "")
+        + f" {status['done']}/{status['task_count']} done"
+    )
+    if status["active_leases"]:
+        owners = ", ".join(
+            f"task {e['task']}@{e['owner'] or '?'} ({e['heartbeat_age_s']:.1f}s)"
+            for e in status["active_leases"]
+        )
+        header += f"; active: {owners}"
+    if status["expired_leases"]:
+        header += f"; {len(status['expired_leases'])} expired lease(s) to steal"
+    print(header)
+    for name, bucket in status["workers"].items():
+        line = (
+            f"  {name}: {bucket['commits']} committed"
+            + (f" ({bucket['steals']} stolen)" if bucket["steals"] else "")
+            + (f", {bucket['cached']} cached" if bucket["cached"] else "")
+            + (f", {bucket['duplicates']} duplicate" if bucket["duplicates"] else "")
+            + (f", {bucket['failed']} FAILED" if bucket["failed"] else "")
+        )
+        if bucket["elapsed_s"]:
+            line += f", {bucket['elapsed_s']:.1f}s"
+        print(line)
+    if status["phase_totals"]:
+        totals = " ".join(
+            f"{phase.removesuffix('_s')}={value:.1f}s"
+            for phase, value in status["phase_totals"].items()
+        )
+        print(f"  phase totals: {totals}")
+
+
+def _queue_dirs(root: Path) -> list[Path]:
+    """The queue directories under ``root``: itself, or its children.
+
+    Workers nest per-experiment queues in subdirectories (``grid/``,
+    ``fig9/``, ...), so watching the root a fleet was pointed at
+    aggregates every experiment it is serving.
+    """
+    if (root / "queue.json").is_file():
+        return [root]
+    return sorted(path.parent for path in root.glob("*/queue.json"))
+
+
+def _run_cache_watch(args) -> int:
+    """``cache watch``: merge a fleet's event streams into live progress.
+
+    Exits 0 once every watched queue is complete, 1 on a single
+    incomplete snapshot (scriptable: CI gates on it), 2 when there is no
+    queue to watch.  ``--follow`` keeps re-rendering until completion.
+    """
+    if args.queue is None:
+        print(
+            "cache watch needs --queue DIR (the directory the fleet's "
+            "workers were pointed at)",
+            file=sys.stderr,
+        )
+        return 2
+    while True:
+        dirs = _queue_dirs(args.queue)
+        if not dirs:
+            print(
+                f"no queue manifest under {args.queue} — no fleet ever "
+                "ran there (workers create queue.json on join)",
+                file=sys.stderr,
+            )
+            return 2
+        statuses = [queue_status(path) for path in dirs]
+        complete = all(status["complete"] for status in statuses)
+        if args.json:
+            payload = statuses[0] if len(statuses) == 1 else statuses
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for status in statuses:
+                _print_queue_status(status)
+        if complete:
+            return 0
+        if not args.follow:
+            return 1
+        time.sleep(1.0)
+
+
 def _run_cache(args) -> int:
     directory: Path = args.cache_dir
+    if args.action != "watch" and (args.queue is not None or args.follow):
+        # The queue lives next to the caches but is not a cache: only the
+        # watch view reads it.  A silently ignored --queue on clear/gc
+        # would delete the wrong directory's entries.
+        print(
+            f"cache {args.action} does not take --queue/--follow; "
+            "use `cache watch --queue DIR` to observe a fleet",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "watch":
+        if args.fingerprint is not None:
+            print(
+                "cache watch does not take --fingerprint; it always shows "
+                "the whole queue",
+                file=sys.stderr,
+            )
+            return 2
+        if args.sources or args.into is not None:
+            print(
+                "cache watch does not take SRC directories or --into; "
+                "use `cache watch --queue DIR`",
+                file=sys.stderr,
+            )
+            return 2
+        if args.max_age_days is not None:
+            print(
+                "cache watch does not take --max-age-days",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_cache_watch(args)
     if args.action != "merge" and (args.sources or args.into is not None):
         # A mistyped action with SRC/--into would otherwise be silently
         # ignored — and the user clearly meant a merge.
@@ -643,10 +874,33 @@ def main(argv: list[str] | None = None) -> int:
         # A shard's entire output *is* its cache directory — running one
         # without checkpointing would compute results and discard them.
         parser.error("--shard needs checkpoints to hand to the merge; drop --no-cache")
+    if args.lease_ttl <= 0:
+        parser.error("--lease-ttl must be > 0 seconds")
+    if args.queue is not None:
+        if args.shard is not None:
+            parser.error(
+                "--queue (dynamic fleet) conflicts with --shard (static "
+                "partition); pick one"
+            )
+        if args.no_cache:
+            parser.error(
+                "--queue needs checkpoints — the shared cache directory is "
+                "how workers exchange results; drop --no-cache"
+            )
+        if args.jobs > 1:
+            parser.error(
+                "--queue workers are single-process; scale the fleet by "
+                "starting more workers instead of --jobs"
+            )
     cache_dir: Path | None = None
     if not args.no_cache:
         if args.cache_dir is not None:
             cache_dir = args.cache_dir
+        elif args.queue is not None:
+            # Every worker of a fleet must share one checkpoint directory;
+            # deriving it from --out (which legitimately differs per
+            # worker) would silently split the fleet's results.
+            cache_dir = args.queue / "cache"
         elif args.out is not None:
             cache_dir = args.out / "cell_cache"
         else:
@@ -657,6 +911,8 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         start_method=args.start_method,
         shard=args.shard,
+        queue_dir=args.queue,
+        lease_ttl=args.lease_ttl,
     )
     epsilons = getattr(args, "epsilons", None)
     stack = args.stack
@@ -676,8 +932,18 @@ def main(argv: list[str] | None = None) -> int:
         # fig1 is still serial (no engine port yet), so a sharded `all`
         # assigns it — like any task — to exactly one shard: the owner of
         # task index 0.  Every other shard skips it instead of all N
-        # hosts redundantly recomputing the same figure.
-        if args.shard is None or args.shard.owns(0):
+        # hosts redundantly recomputing the same figure.  A queued `all`
+        # arbitrates the same way, through a one-task claim queue.
+        if args.command == "all" and args.queue is not None:
+            planned.append(
+                (
+                    "fig1",
+                    lambda: _run_fig1_queued(
+                        profile, args.out, args.queue, args.lease_ttl
+                    ),
+                )
+            )
+        elif args.shard is None or args.shard.owns(0):
             planned.append(("fig1", lambda: _run_fig1(profile, args.out)))
         else:
             print(

@@ -28,6 +28,11 @@ from pathlib import Path
 from repro.engine.cache import SweepCache, WeightCache, sweep_fingerprint, training_fingerprint
 from repro.engine.costs import cached_sweep_costs, order_sweep_tasks
 from repro.engine.job import ExplorationJobContext
+from repro.engine.queue import (
+    DEFAULT_LEASE_TTL,
+    QueueRunResult,
+    run_queued_tasks,
+)
 from repro.engine.scheduler import ContextSpec, run_tasks
 from repro.engine.shard import (
     ShardRunResult,
@@ -122,7 +127,9 @@ def run_sweep_schedule(
     resume: bool = False,
     start_method: str = "auto",
     shard: ShardSpec | None = None,
-) -> tuple[list[SweepResult], dict]:
+    queue_dir: str | Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> tuple[list[SweepResult] | QueueRunResult, dict]:
     """Shared scheduling scaffold of the engine-ported sweep experiments.
 
     Builds the context via ``context_builder`` (one of this module's
@@ -137,9 +144,20 @@ def run_sweep_schedule(
     shard manifest (``shard.json``) — written in a ``finally`` so even an
     interrupted run leaves an accurate completion record for
     ``cache verify`` / :func:`repro.engine.merge.verify_cache_dir`.
+
+    With ``queue_dir`` set, the run instead joins the dynamic work queue
+    under ``<queue_dir>/<experiment>`` as one worker of an elastic fleet
+    (see :mod:`repro.engine.queue`) and ``results`` is the worker's
+    :class:`~repro.engine.queue.QueueRunResult` — the figure is rendered
+    later, by a ``--resume`` run against the shared cache directory.
     """
     if resume and cache_dir is None:
         raise ValueError("resume=True requires cache_dir to resume from")
+    if queue_dir is not None and shard is not None:
+        raise ValueError("queue_dir (dynamic fleet) conflicts with shard (static)")
+    if queue_dir is not None and cache_dir is None:
+        raise ValueError("queue_dir requires cache_dir: the shared checkpoint "
+                         "directory is how queue workers exchange results")
     context = context_builder(profile, cache_dir=cache_dir, reuse_weights=resume)
     cache = None
     if cache_dir is not None:
@@ -177,6 +195,28 @@ def run_sweep_schedule(
     # instead of idling behind one long straggler; costs come from prior
     # runs' cached phase timings, falling back to a T-descending estimate.
     costs = cached_sweep_costs(cache_dir) if cache_dir is not None else None
+
+    if queue_dir is not None:
+        queue_result, stats = run_queued_tasks(
+            context,
+            tasks,
+            run_sweep_task,
+            cache,
+            Path(queue_dir) / experiment,
+            experiment=experiment,
+            cache_dir=cache_dir,
+            resume=resume,
+            progress=progress,
+            lease_ttl=lease_ttl,
+            pending_order=lambda pending: order_sweep_tasks(pending, costs),
+        )
+        queue_result.metadata.update(
+            profile=profile.name, weights_reused=weights_reused
+        )
+        metadata = dict(queue_result.metadata)
+        if queue_result.manifest_path is not None:
+            metadata["manifest_path"] = queue_result.manifest_path
+        return queue_result, metadata
 
     manifest_path: str | None = None
     try:

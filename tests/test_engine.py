@@ -207,7 +207,8 @@ class TestRunnerCLIFlags:
         captured = {}
 
         def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False,
-                      start_method="auto", shard=None, stack=1):
+                      start_method="auto", shard=None, stack=1, queue_dir=None,
+                      lease_ttl=60.0):
             captured.update(
                 profile=profile.name,
                 jobs=jobs,
@@ -216,6 +217,8 @@ class TestRunnerCLIFlags:
                 start_method=start_method,
                 shard=shard,
                 stack=stack,
+                queue_dir=queue_dir,
+                lease_ttl=lease_ttl,
             )
             return _stub_result()
 
@@ -233,6 +236,8 @@ class TestRunnerCLIFlags:
             "start_method": "fork",
             "shard": None,
             "stack": 1,
+            "queue_dir": None,
+            "lease_ttl": 60.0,
         }
         saved = tmp_path / "grid_micro.json"
         assert saved.exists()

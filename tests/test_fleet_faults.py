@@ -1,0 +1,232 @@
+"""Fault injection: a real fleet survives a SIGKILLed worker, provably.
+
+This is the subprocess half of the elastic-fleet proof (the in-process
+protocol and invariant tests live in ``tests/test_queue.py``): three
+actual ``python -m repro.experiments grid --queue`` workers share one
+queue directory, one is SIGKILLed the moment it holds a lease, the
+orphaned lease expires and a survivor steals it, and the merged result
+set ends complete with every task committed exactly once — byte-identical
+to a serial reference run under ``scripts/compare_results.py``'s
+canonical form.  The CI ``grid-queue`` job runs the same scenario via
+``scripts/run_queue_fleet.py``; this test asserts the protocol-level
+evidence (leases, steals, event streams) that the job's exit codes imply.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.engine import merge_event_logs, queue_status
+from repro.experiments.runner import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+LEASE_TTL = 1.5
+"""Short enough that a steal happens within the test budget."""
+
+
+def _load_compare_results():
+    spec = importlib.util.spec_from_file_location(
+        "compare_results", REPO_ROOT / "scripts" / "compare_results.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _spawn_worker(queue_dir: Path, worker_id: str, cwd: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_QUEUE_WORKER"] = worker_id
+    command = [
+        sys.executable, "-m", "repro.experiments", "grid",
+        "--profile", "micro",
+        "--queue", str(queue_dir),
+        "--cache-dir", str(queue_dir / "cache"),
+        "--lease-ttl", str(LEASE_TTL),
+    ]
+    return subprocess.Popen(
+        command, env=env, cwd=cwd,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _wait_for_lease(grid_dir: Path, timeout: float = 120.0) -> tuple[int, str]:
+    """Poll until some worker holds a parseable lease; return (task, owner).
+
+    The kill must target whichever worker actually holds a lease — the
+    first-spawned worker may still be importing numpy while a faster
+    sibling claims the first task.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for path in sorted(grid_dir.glob("lease_*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # claim in flight; re-poll
+            owner = str(payload.get("owner", ""))
+            if owner:
+                return int(path.stem.removeprefix("lease_")), owner
+        time.sleep(0.02)
+    pytest.fail("no worker ever claimed a lease")
+
+
+def _drain(workers: dict[str, subprocess.Popen], timeout: float = 240.0) -> None:
+    deadline = time.monotonic() + timeout
+    for worker_id, process in workers.items():
+        remaining = max(1.0, deadline - time.monotonic())
+        out, _ = process.communicate(timeout=remaining)
+        assert process.returncode == 0, (
+            f"surviving worker {worker_id} exited "
+            f"{process.returncode}:\n{out}"
+        )
+
+
+@pytest.fixture()
+def compare_results():
+    return _load_compare_results()
+
+
+class TestSigkillMidLease:
+    def test_fleet_survives_a_killed_worker(self, tmp_path, compare_results):
+        queue_dir = tmp_path / "fleet-q"
+        grid_dir = queue_dir / "grid"
+        worker_ids = [f"fault-{index}" for index in range(3)]
+        workers = {
+            worker_id: _spawn_worker(queue_dir, worker_id, cwd=tmp_path)
+            for worker_id in worker_ids
+        }
+        try:
+            orphan_task, victim_id = _wait_for_lease(grid_dir)
+            victim = workers.pop(victim_id, None)
+            assert victim is not None, f"lease owner {victim_id!r} is not ours"
+            victim.kill()  # SIGKILL: no release, no heartbeat, no goodbye
+            victim.wait()
+            _drain(workers)
+        finally:
+            for process in workers.values():
+                if process.poll() is None:
+                    process.kill()
+                    process.wait()
+
+        # The queue drained completely despite the death.
+        manifest = json.loads((grid_dir / "queue.json").read_text())
+        task_count = manifest["task_count"]
+        status = queue_status(grid_dir)
+        assert status["complete"], status
+        assert status["done"] == task_count
+        done = sorted(
+            int(path.stem.removeprefix("done_"))
+            for path in grid_dir.glob("done_*.json")
+        )
+        assert done == list(range(task_count))
+
+        # Exactly once: across every worker's event stream, each task has
+        # one commit — later finishers of a stolen task would only ever
+        # show up as harmless `duplicate` events.
+        events = merge_event_logs(grid_dir)
+        commits = Counter(
+            event["task"] for event in events
+            if event["event"] in ("commit", "cached")
+        )
+        assert commits == Counter({index: 1 for index in range(task_count)})
+
+        # The orphaned lease was stolen from the victim — unless the
+        # victim won the tiny race and committed before the signal landed,
+        # in which case its own commit marker is the proof of life.
+        steals = [event for event in events if event["event"] == "steal"]
+        orphan_marker = json.loads(
+            (grid_dir / f"done_{orphan_task}.json").read_text()
+        )
+        assert (
+            any(event.get("victim") == victim_id for event in steals)
+            or orphan_marker["worker"] == victim_id
+        ), (steals, orphan_marker)
+        # Whoever committed the orphan, the victim did not finish the
+        # grid alone: survivors contributed commits.
+        committers = {
+            event["worker"] for event in events
+            if event["event"] in ("commit", "cached")
+        }
+        assert committers & set(workers)
+
+        # The shared cache is certified and the coordinator view agrees.
+        assert main(["cache", "watch", "--queue", str(queue_dir)]) == 0
+        assert main(["cache", "verify", "--cache-dir",
+                     str(queue_dir / "cache")]) == 0
+
+        # Byte-identical to the serial reference: render from the fleet's
+        # cache and from scratch, then compare canonical forms — the same
+        # gate scripts/compare_results.py applies in CI.
+        fleet_out = tmp_path / "fleet-out"
+        reference_out = tmp_path / "reference-out"
+        assert main(["grid", "--profile", "micro", "--resume",
+                     "--cache-dir", str(queue_dir / "cache"),
+                     "--out", str(fleet_out)]) == 0
+        assert main(["grid", "--profile", "micro", "--no-cache",
+                     "--out", str(reference_out)]) == 0
+        fleet = json.loads((fleet_out / "grid_micro.json").read_text())
+        reference = json.loads((reference_out / "grid_micro.json").read_text())
+        assert compare_results.canonicalize(fleet) == \
+            compare_results.canonicalize(reference)
+        assert compare_results.main([
+            str(reference_out / "grid_micro.json"),
+            str(fleet_out / "grid_micro.json"),
+        ]) == 0
+
+
+class TestRaggedFleet:
+    def test_late_joiner_shares_the_queue(self, tmp_path):
+        # Two real workers, the second joining only once the first is
+        # already mid-drain: a ragged fleet must still partition the grid
+        # without overlap and both must exit clean.
+        queue_dir = tmp_path / "ragged-q"
+        grid_dir = queue_dir / "grid"
+        early = _spawn_worker(queue_dir, "ragged-early", cwd=tmp_path)
+        workers = {"ragged-early": early}
+        try:
+            _wait_for_lease(grid_dir)  # the early worker is committed now
+            workers["ragged-late"] = _spawn_worker(
+                queue_dir, "ragged-late", cwd=tmp_path
+            )
+            _drain(workers)
+        finally:
+            for process in workers.values():
+                if process.poll() is None:
+                    process.kill()
+                    process.wait()
+
+        manifest = json.loads((grid_dir / "queue.json").read_text())
+        status = queue_status(grid_dir)
+        assert status["complete"]
+        events = merge_event_logs(grid_dir)
+        commits = Counter(
+            event["task"] for event in events
+            if event["event"] in ("commit", "cached")
+        )
+        assert commits == Counter(
+            {index: 1 for index in range(manifest["task_count"])}
+        )
+        # No worker committed a task someone else also committed.
+        owners: dict[int, str] = {}
+        for event in events:
+            if event["event"] in ("commit", "cached"):
+                assert event["task"] not in owners
+                owners[event["task"]] = event["worker"]
+        # The late worker exited 0 whether or not it won any tasks; if it
+        # did, its commits are disjoint from the early worker's by the
+        # exactly-once check above.
+        assert set(owners.values()) <= {"ragged-early", "ragged-late"}
