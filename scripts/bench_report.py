@@ -21,9 +21,15 @@ Measures, on the default spiking LeNet of an experiment profile:
    compares equal, at two scales: a K=5 headline grid and a cheap K=2
    micro leg for CI.
 
+5. **Guided grid search** — a 24-cell synthetic grid run exhaustively vs
+   through ``run_halving_search`` (successive halving with warm-start),
+   asserting the search finds the exhaustive top-1 sweet spot and its
+   warm-start bias audit passes, and reporting the training-seconds
+   saved.
+
 Forward/sweep timings go to ``BENCH_pr3.json``, gradient timings to
-``BENCH_pr5.json`` and stacked-grid timings to ``BENCH_pr6.json``
-(repo root by default).  ``--check-fused`` skips the
+``BENCH_pr5.json``, stacked-grid timings to ``BENCH_pr6.json`` and
+guided-search timings to ``BENCH_pr8.json`` (repo root by default).  ``--check-fused`` skips the
 timing and only runs the smoke guards: the profile's default spiking
 model must take the fused plan path end to end (full synapse-plan
 coverage, forward *and* backward counters advancing) — the CI job runs
@@ -31,9 +37,9 @@ this to catch silent fallback regressions.
 
 ``--check-regression`` measures fresh and compares the *speedup ratios*
 against the committed baseline reports: the planned-fused forward, the
-K-epsilon FGSM sweep, the fused input gradient, the PGD-10 curve and the
-K=5/K=2 stacked-grid ratios must
-each retain their advantage to within ``--tolerance`` (default 25 %).
+K-epsilon FGSM sweep, the fused input gradient, the PGD-10 curve, the
+K=5/K=2 stacked-grid ratios and the guided-search training-seconds ratio
+must each retain their advantage to within ``--tolerance`` (default 25 %).
 Ratios — not absolute seconds — are compared, so the guard is meaningful
 on CI hardware that is nothing like the machine that wrote the
 baselines.  Shared runners with noisy neighbours can opt out by setting
@@ -415,6 +421,122 @@ def run_stacked_benchmarks(profile) -> dict:
     }
 
 
+def run_search_benchmarks(profile) -> dict:
+    """Guided-search vs exhaustive grid bench (the BENCH_pr8 payload).
+
+    Runs the *same* synthetic grid twice — exhaustively through
+    ``run_cell_tasks`` and through the successive-halving scheduler with
+    warm-start — and reports the training-seconds and wall-clock ratios.
+    The headline number is ``train_seconds_speedup``: training time is
+    what the scheduler exists to save, and the ratio is machine-portable
+    where wall seconds are not.  Agreement (the search finds the
+    exhaustive top-1 sweet spot) and the warm-start bias audit are
+    asserted as parity, like every other bench's correctness gates.
+    """
+    import tempfile
+
+    from repro.engine.search import SearchConfig, run_halving_search
+
+    rng = np.random.default_rng(0)
+    size = 12  # smaller canvas than the profile's: epochs dominate here
+    train = ArrayDataset(
+        rng.random((64, 1, size, size), dtype=np.float32),
+        rng.integers(0, 10, 64),
+    )
+    test = ArrayDataset(
+        rng.random((24, 1, size, size), dtype=np.float32),
+        rng.integers(0, 10, 24),
+    )
+
+    def factory(v_th, time_window, seed):
+        return build_model(
+            profile.snn_model,
+            input_size=size,
+            time_steps=int(time_window),
+            lif_params=LIFParameters(v_th=float(v_th)),
+            rng=seed,
+        )
+
+    config = ExplorationConfig(
+        v_thresholds=(0.25, 0.5, 0.75, 1.0, 1.25, 1.5),
+        time_windows=(6, 8, 10, 12),
+        epsilons=(1.0,),
+        accuracy_threshold=0.0,  # every cell reaches the attack phase
+        attack="fgsm",  # one cheap crafting pass; training is the subject
+        attack_batch_size=24,
+        training=TrainingConfig(
+            epochs=6, batch_size=8, eval_batch_size=24, seed=11
+        ),
+        seed=7,
+    )
+    tasks = build_cell_tasks(config)
+    epsilon = max(config.epsilons)
+
+    context = ExplorationJobContext(factory, train, test, config)
+    start = time.perf_counter()
+    exhaustive, _stats = run_cell_tasks(context, tasks)
+    exhaustive_wall_s = time.perf_counter() - start
+    exhaustive_train_s = sum(
+        cell.phase_seconds.get("train_s", 0.0) for cell in exhaustive
+    )
+
+    # Aggressive halving (eta=8 keeps 3 of 24) is where the scheduler's
+    # savings peak; the warm-start makes the surviving cells' second-rung
+    # training a resume instead of a restart.
+    search_config = SearchConfig(schedule=(1, 6), eta=8.0, warm_start=True)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        result = run_halving_search(
+            ExplorationJobContext(factory, train, test, config),
+            search_config,
+            cache_dir,
+        )
+
+    ranked = sorted(
+        (cell for cell in exhaustive if cell.learnable),
+        key=lambda cell: (
+            cell.robustness.get(epsilon, -1.0),
+            cell.clean_accuracy,
+        ),
+        reverse=True,
+    )
+    top1 = ranked[0] if ranked else None
+    sweet = result.sweet_spot()
+    agrees = (
+        top1 is not None
+        and sweet is not None
+        and (top1.v_th, top1.time_window) == (sweet.v_th, sweet.time_window)
+    )
+    gate = result.bias_gate or {}
+
+    return {
+        "profile": profile.name,
+        "model": profile.snn_model,
+        "search_grid": {
+            "cells": len(tasks),
+            "v_thresholds": list(config.v_thresholds),
+            "time_windows": list(config.time_windows),
+            "epochs": config.training.epochs,
+            "schedule": list(result.schedule),
+            "eta": result.eta,
+            "exhaustive_train_s": exhaustive_train_s,
+            "search_train_s": result.train_seconds_total,
+            "train_seconds_speedup": exhaustive_train_s
+            / result.train_seconds_total,
+            "exhaustive_wall_s": exhaustive_wall_s,
+            "search_wall_s": result.elapsed_seconds,
+            "wall_speedup": exhaustive_wall_s / result.elapsed_seconds,
+            "sweet_spot": None
+            if sweet is None
+            else {"v_th": sweet.v_th, "time_window": sweet.time_window},
+            "bias_gate_divergence": gate.get("divergence"),
+        },
+        "parity": {
+            "sweet_spot_agrees_with_exhaustive": bool(agrees),
+            "bias_gate_passed": bool(gate.get("passed", False)),
+        },
+    }
+
+
 FORWARD_CHECKS = (
     (
         "planned-fused forward speedup vs PR1 fused loop",
@@ -444,6 +566,13 @@ GRADIENT_CHECKS = (
 STACKED_CHECKS = (
     ("K=5 stacked grid speedup vs per-cell", ("stacked_grid_smoke", "speedup")),
     ("K=2 stacked grid speedup vs per-cell", ("stacked_grid_micro", "speedup")),
+)
+
+SEARCH_CHECKS = (
+    (
+        "guided search train-seconds speedup vs exhaustive grid",
+        ("search_grid", "train_seconds_speedup"),
+    ),
 )
 
 
@@ -499,6 +628,10 @@ def main() -> int:
         help="stacked-grid bench report destination",
     )
     parser.add_argument(
+        "--search-out", default=str(ROOT / "BENCH_pr8.json"),
+        help="guided-search bench report destination",
+    )
+    parser.add_argument(
         "--time-steps", type=int, default=16, help="time window of the bench model"
     )
     parser.add_argument(
@@ -531,6 +664,11 @@ def main() -> int:
         "--stacked-baseline",
         default=str(ROOT / "BENCH_pr6.json"),
         help="stacked-grid baseline for --check-regression",
+    )
+    parser.add_argument(
+        "--search-baseline",
+        default=str(ROOT / "BENCH_pr8.json"),
+        help="guided-search baseline for --check-regression",
     )
     parser.add_argument(
         "--tolerance",
@@ -574,6 +712,13 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    search_report = run_search_benchmarks(profile)
+    if not all(search_report["parity"].values()):
+        print(
+            f"FAIL: search parity violated: {search_report['parity']}",
+            file=sys.stderr,
+        )
+        return 1
     if args.check_regression:
         # Guard mode: compare ratios against the committed baselines and
         # leave the baseline files untouched.
@@ -590,6 +735,12 @@ def main() -> int:
             args.tolerance,
             checks=STACKED_CHECKS,
         )
+        problems += check_regression(
+            search_report,
+            Path(args.search_baseline),
+            args.tolerance,
+            checks=SEARCH_CHECKS,
+        )
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1 if problems else 0
@@ -599,6 +750,9 @@ def main() -> int:
     )
     Path(args.stacked_out).write_text(
         json.dumps(stacked_report, indent=2) + "\n"
+    )
+    Path(args.search_out).write_text(
+        json.dumps(search_report, indent=2) + "\n"
     )
     forward = report["forward"]
     curve = report["fgsm_curve"]
@@ -632,9 +786,17 @@ def main() -> int:
             f"stacked {leg['stacked_s']:.3f}s ({leg['speedup']:.2f}x, "
             f"{leg['cells']} cells)"
         )
+    guided = search_report["search_grid"]
     print(
-        f"reports written to {args.out}, {args.gradient_out} "
-        f"and {args.stacked_out}"
+        f"guided search ({guided['cells']} cells): exhaustive train "
+        f"{guided['exhaustive_train_s']:.2f}s, search train "
+        f"{guided['search_train_s']:.2f}s "
+        f"({guided['train_seconds_speedup']:.2f}x; wall "
+        f"{guided['wall_speedup']:.2f}x)"
+    )
+    print(
+        f"reports written to {args.out}, {args.gradient_out}, "
+        f"{args.stacked_out} and {args.search_out}"
     )
     return 0
 

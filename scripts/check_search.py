@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Gate a guided grid search against its exhaustive reference.
+
+The CI ``grid-search`` job runs the micro-search grid twice — once
+exhaustively, once through the successive-halving scheduler — and this
+script asserts the search actually earned its keep:
+
+1. **Agreement** — the search's sweet spot (the ``(Vth, T)`` cell the
+   paper's Fig. 9 would track) must be the top-1 cell of the exhaustive
+   grid, ranked exactly as the scheduler ranks: robustness at the search
+   epsilon, clean accuracy as tie-break, learnable non-diverged cells
+   only.  A reference whose top-1 is tied is rejected as a bad gate
+   (a coin-flip agreement check protects nothing).
+2. **Speedup** — the search's total training seconds must undercut the
+   exhaustive run's by at least ``--min-speedup`` (both measured on the
+   *same* host in the same CI job, so the ratio is machine-portable
+   where absolute seconds are not).
+3. **Bias audit** — the warm-start bias gate must have run and passed:
+   the warm-vs-cold probe divergence stays within the configured
+   tolerance, proving promoted cells were not silently biased by their
+   warm initialisation.
+
+Exits 0 when all gates hold, 1 with a report otherwise, 2 on unreadable
+or structurally invalid inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"{path}: expected a JSON object")
+    return payload
+
+
+def exhaustive_top1(grid: dict, epsilon: float) -> tuple[dict, dict | None]:
+    """Top-1 cell of an exhaustive grid result, scheduler ranking.
+
+    Returns ``(best, runner_up)``; the runner-up lets the caller reject
+    references where the top rank is tied.
+    """
+    eps_key = f"{epsilon:g}"
+    eligible = [
+        cell
+        for cell in grid.get("cells", [])
+        if cell.get("learnable") and not cell.get("diverged")
+    ]
+    if not eligible:
+        raise SystemExit("reference grid has no learnable cells to rank")
+
+    def rank(cell: dict) -> tuple[float, float]:
+        robustness = cell.get("robustness") or {}
+        return (float(robustness.get(eps_key, -1.0)), float(cell["clean_accuracy"]))
+
+    ordered = sorted(eligible, key=rank, reverse=True)
+    runner_up = ordered[1] if len(ordered) > 1 else None
+    return ordered[0], runner_up
+
+
+def grid_train_seconds(grid: dict) -> float:
+    """Total training seconds actually spent by an exhaustive run."""
+    return sum(
+        float((cell.get("phase_seconds") or {}).get("train_s", 0.0))
+        for cell in grid.get("cells", [])
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("search", type=Path, help="guided-search result JSON")
+    parser.add_argument(
+        "--reference",
+        type=Path,
+        required=True,
+        help="committed exhaustive grid result JSON (agreement oracle)",
+    )
+    parser.add_argument(
+        "--exhaustive",
+        type=Path,
+        default=None,
+        help="exhaustive grid result measured on THIS host (speedup "
+        "denominator); defaults to --reference",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.1,
+        help="minimum exhaustive/search training-seconds ratio (default 1.1)",
+    )
+    args = parser.parse_args(argv)
+
+    search = _load(args.search)
+    reference = _load(args.reference)
+    exhaustive = _load(args.exhaustive) if args.exhaustive else reference
+
+    problems: list[str] = []
+
+    # -- 1. sweet-spot agreement ------------------------------------------
+    sweet = search.get("sweet_spot")
+    epsilon = float((search.get("search") or {}).get("epsilon", 1.0))
+    if not isinstance(sweet, dict):
+        problems.append("search found no sweet spot (no learnable final cell)")
+    else:
+        best, runner_up = exhaustive_top1(reference, epsilon)
+        eps_key = f"{epsilon:g}"
+        if runner_up is not None:
+            best_rank = (
+                float((best.get("robustness") or {}).get(eps_key, -1.0)),
+                float(best["clean_accuracy"]),
+            )
+            runner_rank = (
+                float((runner_up.get("robustness") or {}).get(eps_key, -1.0)),
+                float(runner_up["clean_accuracy"]),
+            )
+            if best_rank == runner_rank:
+                print(
+                    f"reference top-1 is tied at robustness={best_rank[0]:.3f}, "
+                    f"clean={best_rank[1]:.3f} — agreement gate is meaningless; "
+                    "pick a denser/longer reference profile",
+                    file=sys.stderr,
+                )
+                return 2
+        got = (float(sweet["v_th"]), int(sweet["time_window"]))
+        want = (float(best["v_th"]), int(best["time_window"]))
+        if got == want:
+            print(
+                f"sweet spot agrees: (Vth={got[0]:g}, T={got[1]}) "
+                f"robustness@eps={epsilon:g} "
+                f"{float(sweet['robustness']):.3f}"
+            )
+        else:
+            problems.append(
+                f"sweet-spot mismatch: search found (Vth={got[0]:g}, T={got[1]}), "
+                f"exhaustive reference ranks (Vth={want[0]:g}, T={want[1]}) first"
+            )
+
+    # -- 2. training-seconds speedup --------------------------------------
+    timing = search.get("timing") or {}
+    search_seconds = float(timing.get("train_seconds_total", 0.0))
+    exhaustive_seconds = grid_train_seconds(exhaustive)
+    if search_seconds <= 0.0 or exhaustive_seconds <= 0.0:
+        problems.append(
+            f"unusable timings: search={search_seconds:.2f}s, "
+            f"exhaustive={exhaustive_seconds:.2f}s"
+        )
+    else:
+        speedup = exhaustive_seconds / search_seconds
+        verdict = "ok" if speedup >= args.min_speedup else "FAIL"
+        print(
+            f"train seconds: search {search_seconds:.2f}s vs exhaustive "
+            f"{exhaustive_seconds:.2f}s -> {speedup:.2f}x "
+            f"(need >= {args.min_speedup:g}x) {verdict}"
+        )
+        if speedup < args.min_speedup:
+            problems.append(
+                f"search spent too much training time: {speedup:.2f}x "
+                f"< required {args.min_speedup:g}x"
+            )
+
+    # -- 3. warm-start bias audit ------------------------------------------
+    if (search.get("search") or {}).get("warm_start"):
+        gate = search.get("bias_gate")
+        if not isinstance(gate, dict):
+            problems.append("warm-start was enabled but the bias gate never ran")
+        else:
+            divergence = float(gate.get("divergence", float("inf")))
+            tolerance = float(gate.get("tolerance", 0.0))
+            if gate.get("passed") and divergence <= tolerance:
+                print(
+                    f"bias gate passed: divergence {divergence:.3f} "
+                    f"<= tolerance {tolerance:g}"
+                )
+            else:
+                problems.append(
+                    f"bias gate failed: divergence {divergence:.3f} "
+                    f"vs tolerance {tolerance:g} "
+                    f"(warm-start kept={gate.get('passed')})"
+                )
+
+    if problems:
+        print(f"guided search gate FAILED ({len(problems)} problem(s)):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("guided search gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

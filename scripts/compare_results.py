@@ -31,7 +31,11 @@ from pathlib import Path
 
 VOLATILE_KEYS = frozenset(
     {"elapsed_seconds", "phase_seconds", "worker", "workers", "engine",
-     "weights_reused", "manifest_path", "stack_size", "stack_index"}
+     "weights_reused", "manifest_path", "stack_size", "stack_index",
+     # Provenance of *how* a number was produced, not science: warm-start
+     # lineage and timing vary with cache state and host speed while the
+     # metrics they annotate must not.
+     "warm_start", "warm_started", "train_seconds", "timing"}
 )
 
 

@@ -100,6 +100,22 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
+    def skip_epochs(self, count: int) -> None:
+        """Advance the shuffle stream past ``count`` epochs without yielding.
+
+        A training run resumed at epoch ``k`` from checkpointed weights
+        must iterate the *same* batch order a continuous run would have
+        seen at that epoch; burning the first ``k`` permutations keeps the
+        per-epoch shuffle stream aligned.  A no-op when shuffling is off
+        (iteration order is then epoch-independent).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if self.shuffle:
+            n = len(self.dataset)
+            for _ in range(count):
+                self._rng.permutation(n)
+
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)

@@ -19,6 +19,11 @@ turns that observation into infrastructure, split into three layers:
   :class:`WeightCache` of trained ``state_dict`` archives, all keyed by
   context fingerprints, making interrupted runs resumable and
   security-only re-sweeps retraining-free;
+* **search** (:mod:`repro.engine.search`) — :func:`run_halving_search`,
+  a successive-halving scheduler that replaces the exhaustive sweep with
+  budgeted rungs, warm-starting promoted cells from the nearest cached
+  :class:`WeightCache` archive and auditing the shortcut with a
+  warm-vs-cold bias gate;
 * **sharding** (:mod:`repro.engine.shard`, :mod:`repro.engine.merge`) —
   :class:`ShardSpec` deterministically partitions any task list across
   hosts (``task i -> shard i mod N``), shard manifests record per-shard
@@ -37,11 +42,14 @@ from repro.engine.cache import (
     CellCache,
     SweepCache,
     WeightCache,
+    WeightEntry,
     cache_stats,
     clear_cache_dir,
     context_fingerprint,
+    entry_provenance,
     entry_timings,
     gc_cache_dir,
+    nearest_weight_entry,
     scan_cache_dir,
     sweep_fingerprint,
     training_fingerprint,
@@ -49,6 +57,7 @@ from repro.engine.cache import (
 from repro.engine.job import (
     CellTask,
     ExplorationJobContext,
+    WarmStartRef,
     build_cell_tasks,
     make_cell_task,
     run_cell_task,
@@ -73,6 +82,14 @@ from repro.engine.scheduler import (
     ScheduleStats,
     run_cell_tasks,
     run_tasks,
+)
+from repro.engine.search import (
+    RungReport,
+    SearchConfig,
+    SearchResult,
+    derive_schedule,
+    parse_budget_schedule,
+    run_halving_search,
 )
 from repro.engine.shard import (
     ShardManifest,
@@ -100,7 +117,10 @@ __all__ = [
     "MergeReport",
     "QueueError",
     "QueueRunResult",
+    "RungReport",
     "ScheduleStats",
+    "SearchConfig",
+    "SearchResult",
     "ShardManifest",
     "ShardRunResult",
     "ShardSpec",
@@ -108,12 +128,16 @@ __all__ = [
     "SweepJobContext",
     "SweepResult",
     "SweepTask",
+    "WarmStartRef",
     "WeightCache",
+    "WeightEntry",
     "WorkQueue",
     "build_cell_tasks",
     "cache_stats",
     "clear_cache_dir",
     "context_fingerprint",
+    "derive_schedule",
+    "entry_provenance",
     "entry_timings",
     "gc_cache_dir",
     "load_manifests",
@@ -121,11 +145,14 @@ __all__ = [
     "make_sweep_task",
     "merge_cache_dirs",
     "merge_event_logs",
+    "nearest_weight_entry",
+    "parse_budget_schedule",
     "queue_status",
     "read_events",
     "record_durable_manifest",
     "run_cell_task",
     "run_cell_tasks",
+    "run_halving_search",
     "run_queued_tasks",
     "run_sweep_task",
     "run_tasks",

@@ -47,7 +47,7 @@ from repro.engine.sweep import SweepResult
 from repro.robustness.results import CellResult
 from repro.training.trainer import TrainingConfig
 from repro.utils.logging import get_logger
-from repro.utils.serialization import load_npz, save_npz
+from repro.utils.serialization import load_npz, load_npz_metadata, save_npz
 
 if TYPE_CHECKING:  # annotation-only: repro.engine.job imports this module
     from repro.engine.job import CellTask, ExplorationJobContext
@@ -58,13 +58,17 @@ __all__ = [
     "CellCache",
     "SweepCache",
     "WeightCache",
+    "WeightEntry",
     "archive_weights",
     "cache_stats",
     "clear_cache_dir",
     "context_fingerprint",
+    "entry_provenance",
     "fingerprint_matches",
     "gc_cache_dir",
+    "nearest_weight_entry",
     "scan_cache_dir",
+    "split_optimizer_arrays",
     "sweep_fingerprint",
     "training_fingerprint",
 ]
@@ -379,6 +383,83 @@ class SweepCache(_CheckpointCache):
         return SweepResult.from_dict(payload)
 
 
+@dataclass(frozen=True)
+class WeightEntry:
+    """One scanned weight archive with its stored metadata.
+
+    The unit of the neighbour index: :meth:`WeightCache.scan` returns
+    these, :func:`nearest_weight_entry` ranks them by structural-parameter
+    distance, and the search scheduler's warm-start plan records their
+    paths as initialisation sources.
+    """
+
+    path: Path
+    key: str
+    """Variant key the archive was stored under (e.g. ``cell_vth1_T48``)."""
+
+    train_seed: int | None
+    """Seed the weights were trained with (``None`` for legacy archives)."""
+
+    params: dict[str, float]
+    """Structural parameters of the trained cell (e.g. ``v_th`` /
+    ``time_window``); empty for archives written before params metadata."""
+
+    epochs: int | None
+    """Training budget the archive completed (``None`` when unrecorded)."""
+
+    metadata: dict
+    """The full metadata record, including any ``warm_start`` lineage."""
+
+
+def nearest_weight_entry(
+    entries: list[WeightEntry],
+    params: Mapping[str, float],
+    exclude_keys: tuple[str, ...] = (),
+) -> tuple[WeightEntry, float] | None:
+    """Nearest archive to ``params`` by normalised structural distance.
+
+    Distance is Euclidean over the target's parameter axes, each axis
+    normalised by the value range observed across the candidates plus the
+    target — so axes on wildly different scales (``v_th`` in [0.25, 2.25]
+    vs ``time_window`` in [8, 64]) weigh equally.  Candidates missing any
+    target axis are skipped (no silent partial matches), as are keys in
+    ``exclude_keys``.  Ties break deterministically: larger completed
+    budget first (a longer-trained neighbour resumes cheaper), then key,
+    then train seed.  Returns ``(entry, distance)`` or ``None``.
+    """
+    target = {str(k): float(v) for k, v in params.items()}
+    excluded = set(exclude_keys)
+    candidates = [
+        entry
+        for entry in entries
+        if entry.key not in excluded and all(axis in entry.params for axis in target)
+    ]
+    if not candidates or not target:
+        return None
+    spans: dict[str, float] = {}
+    for axis, value in target.items():
+        values = [value] + [entry.params[axis] for entry in candidates]
+        spans[axis] = (max(values) - min(values)) or 1.0
+    def distance_of(entry: WeightEntry) -> float:
+        return (
+            sum(
+                ((entry.params[axis] - target[axis]) / spans[axis]) ** 2
+                for axis in target
+            )
+            ** 0.5
+        )
+    best = min(
+        candidates,
+        key=lambda entry: (
+            distance_of(entry),
+            -(entry.epochs or 0),
+            entry.key,
+            entry.train_seed or 0,
+        ),
+    )
+    return best, distance_of(best)
+
+
 class WeightCache:
     """Trained ``state_dict`` archives keyed by variant key + train seed.
 
@@ -413,7 +494,13 @@ class WeightCache:
     def get(
         self, key: str, train_seed: int
     ) -> tuple[dict[str, np.ndarray], dict] | None:
-        """Load ``(state_dict, metadata)``; ``None`` on miss or corruption."""
+        """Load ``(state_dict, metadata)``; ``None`` on miss or corruption.
+
+        Archives may bundle optimizer moments under ``__opt__``-prefixed
+        array names (see :func:`archive_weights`); those are stripped here
+        so the returned mapping is exactly what ``model.load_state_dict``
+        expects.
+        """
         path = self.path_for(key, train_seed)
         if not path.is_file():
             return None
@@ -423,7 +510,7 @@ class WeightCache:
             return None
         if not isinstance(metadata, dict) or "clean_accuracy" not in metadata:
             return None
-        return arrays, metadata
+        return split_optimizer_arrays(arrays)[0], metadata
 
     def put(
         self,
@@ -432,11 +519,67 @@ class WeightCache:
         state: dict[str, np.ndarray],
         metadata: dict,
     ) -> Path:
-        """Atomically store a trained ``state_dict`` with its metadata."""
+        """Atomically store a trained ``state_dict`` with its metadata.
+
+        The key and train seed are embedded into the metadata so a
+        directory :meth:`scan` can recover entry identity without the
+        caller's key-derivation logic.
+        """
         if "clean_accuracy" not in metadata:
             raise ValueError("weight-cache metadata must record clean_accuracy")
         path = self.path_for(key, train_seed)
-        return save_npz(path, state, {**metadata, "key": str(key)})
+        return save_npz(
+            path, state, {**metadata, "key": str(key), "train_seed": int(train_seed)}
+        )
+
+    def scan(self) -> list[WeightEntry]:
+        """Enumerate this cache's archives with their stored metadata.
+
+        The backing read of the neighbour index: each entry carries the
+        structural ``params`` and completed ``epochs`` recorded at archive
+        time, so :func:`nearest_weight_entry` can rank candidates without
+        ever decompressing a state dict.  Unreadable or metadata-less
+        archives are skipped, matching the miss semantics of :meth:`get`.
+        """
+        if not self.directory.is_dir():
+            return []
+        entries: list[WeightEntry] = []
+        for path in sorted(self.directory.glob(f"{self._prefix}_*.npz")):
+            try:
+                metadata = load_npz_metadata(path)
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                continue
+            if not isinstance(metadata, dict):
+                continue
+            raw_params = metadata.get("params")
+            params = (
+                {str(k): float(v) for k, v in raw_params.items()}
+                if isinstance(raw_params, dict)
+                else {}
+            )
+            seed = metadata.get("train_seed")
+            epochs = metadata.get("epochs")
+            entries.append(
+                WeightEntry(
+                    path=path,
+                    key=str(metadata.get("key", "")),
+                    train_seed=int(seed) if seed is not None else None,
+                    params=params,
+                    epochs=int(epochs) if epochs is not None else None,
+                    metadata=metadata,
+                )
+            )
+        return entries
+
+    def nearest(
+        self,
+        params: Mapping[str, float],
+        exclude_keys: tuple[str, ...] = (),
+    ) -> tuple[WeightEntry, float] | None:
+        """Nearest archived neighbour of ``params`` (see
+        :func:`nearest_weight_entry` for the distance and tie-break
+        rules); ``None`` when no compatible archive exists."""
+        return nearest_weight_entry(self.scan(), params, exclude_keys=exclude_keys)
 
     def __len__(self) -> int:
         """Number of this cache's archives currently on disk."""
@@ -457,14 +600,45 @@ class WeightCache:
         return f"WeightCache({str(self.directory)!r}, entries={len(self)})"
 
 
+_OPTIMIZER_PREFIX = "__opt__"
+"""Array-name prefix separating optimizer moments from model weights
+inside one archive.  Model parameter names never start with a dunder, so
+the prefix cannot collide with a real ``state_dict`` entry."""
+
+
+def split_optimizer_arrays(
+    arrays: dict[str, np.ndarray],
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray] | None]:
+    """Split one archive's arrays into ``(model_state, optimizer_state)``.
+
+    The optimizer half is ``None`` when the archive predates optimizer
+    bundling — consumers then resume with fresh Adam moments (the old
+    re-anneal behaviour) instead of failing.
+    """
+    model = {k: v for k, v in arrays.items() if not k.startswith(_OPTIMIZER_PREFIX)}
+    opt = {
+        k[len(_OPTIMIZER_PREFIX) :]: v
+        for k, v in arrays.items()
+        if k.startswith(_OPTIMIZER_PREFIX)
+    }
+    return model, (opt or None)
+
+
 def archive_weights(
     cache: WeightCache | None,
     key: str,
     train_seed: int,
     state: dict[str, np.ndarray],
     metadata: dict,
+    optimizer_state: dict[str, np.ndarray] | None = None,
 ) -> None:
     """Best-effort :meth:`WeightCache.put` used from inside job functions.
+
+    ``optimizer_state`` (Adam moments, :meth:`Adam.state_dict`) is bundled
+    into the same archive under ``__opt__``-prefixed array names so a
+    higher-budget rung can resume training as a bitwise continuation;
+    :meth:`WeightCache.get` strips the prefix back out for weight-only
+    consumers.
 
     Archiving is a convenience; an unwritable cache directory (read-only
     mount, full disk) must degrade to a warning, never abort the
@@ -473,6 +647,11 @@ def archive_weights(
     """
     if cache is None:
         return
+    if optimizer_state:
+        state = {
+            **state,
+            **{f"{_OPTIMIZER_PREFIX}{k}": v for k, v in optimizer_state.items()},
+        }
     try:
         cache.put(key, train_seed, state, metadata)
     except OSError as error:
@@ -581,6 +760,31 @@ def entry_timings(entry: CacheEntry) -> dict[str, float] | None:
         # One malformed checkpoint must not abort a whole listing.
         return None
     return timings or None
+
+
+def entry_provenance(entry: CacheEntry) -> dict | None:
+    """Training provenance stored inside a weight archive, if any.
+
+    Surfaces the key, structural params, completed epochs and — for
+    warm-started cells — the ``warm_start`` lineage (source archive,
+    epochs skipped, neighbour distance) that ``cache inspect`` prints.
+    Returns ``None`` for result checkpoints, metadata-less archives and
+    unreadable files.
+    """
+    if entry.kind != "weights":
+        return None
+    try:
+        metadata = load_npz_metadata(entry.path)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None
+    if not isinstance(metadata, dict):
+        return None
+    provenance = {
+        name: metadata[name]
+        for name in ("key", "params", "epochs", "train_seed", "warm_start")
+        if name in metadata
+    }
+    return provenance or None
 
 
 def cache_stats(directory: str | Path, fingerprint: str | None = None) -> dict:
@@ -722,6 +926,49 @@ def clear_cache_dir(directory: str | Path, fingerprint: str | None = None) -> in
     return removed
 
 
+def _warm_start_source(path: Path) -> str | None:
+    """Filename of the archive this weights entry warm-started from."""
+    try:
+        metadata = load_npz_metadata(path)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None
+    if not isinstance(metadata, dict):
+        return None
+    warm = metadata.get("warm_start")
+    if isinstance(warm, dict) and warm.get("source_file"):
+        return str(warm["source_file"])
+    return None
+
+
+def _protected_ancestors(
+    kept: list[CacheEntry], doomed: list[CacheEntry]
+) -> set[Path]:
+    """Doomed weight archives shielded because a survivor descends from them.
+
+    A warm-started checkpoint records the archive it initialised from
+    (``warm_start.source_file`` in its metadata).  Evicting that ancestor
+    while the descendant survives would orphan the lineage a promotion
+    resume or bias audit needs — so reachability is walked from every
+    surviving archive down the ancestor chain (transitively: protected
+    ancestors shield *their* ancestors too) and reachable doomed entries
+    are returned for exclusion from the sweep.
+    """
+    doomed_weights = {
+        entry.path.name: entry for entry in doomed if entry.kind == "weights"
+    }
+    if not doomed_weights:
+        return set()
+    protected: set[Path] = set()
+    frontier = [entry.path for entry in kept if entry.kind == "weights"]
+    while frontier:
+        source = _warm_start_source(frontier.pop())
+        ancestor = doomed_weights.get(source) if source else None
+        if ancestor is not None and ancestor.path not in protected:
+            protected.add(ancestor.path)
+            frontier.append(ancestor.path)
+    return protected
+
+
 def gc_cache_dir(
     directory: str | Path,
     max_age_seconds: float | None = None,
@@ -735,15 +982,35 @@ def gc_cache_dir(
     fingerprint *and* exceed the age to be removed.  Orphaned temp files
     are swept under the same criteria (an age bound naturally protects
     writes currently in flight).
+
+    Weight archives that are warm-start ancestors of *surviving* archives
+    are exempt even when they match the criteria: a live partial-budget
+    checkpoint written last night may descend from a neighbour archive
+    written last month, and evicting the ancestor would break the
+    lineage (see :func:`_protected_ancestors`).
     """
     if max_age_seconds is None and fingerprint is None:
         raise ValueError("gc needs max_age_seconds and/or fingerprint (use clear to drop everything)")
     removed = 0
     dropped_results: set[str] = set()
+    doomed: list[CacheEntry] = []
+    kept: list[CacheEntry] = []
     for entry in scan_cache_dir(directory):
-        if not fingerprint_matches(entry, fingerprint):
-            continue
-        if max_age_seconds is not None and entry.age_seconds(now) <= max_age_seconds:
+        if fingerprint_matches(entry, fingerprint) and not (
+            max_age_seconds is not None and entry.age_seconds(now) <= max_age_seconds
+        ):
+            doomed.append(entry)
+        else:
+            kept.append(entry)
+    protected = _protected_ancestors(kept, doomed)
+    if protected:
+        _logger.info(
+            "gc shielded %d warm-start ancestor archive(s) still referenced "
+            "by live checkpoints",
+            len(protected),
+        )
+    for entry in doomed:
+        if entry.path in protected:
             continue
         entry.path.unlink(missing_ok=True)
         removed += 1

@@ -24,19 +24,25 @@ trained-variant ε-sweeps (Fig. 9, ablations).
 from __future__ import annotations
 
 import time
+import zipfile
 from collections.abc import Callable
 from dataclasses import dataclass, replace
 from multiprocessing import current_process
+from pathlib import Path
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.data.dataset import ArrayDataset
-from repro.engine.cache import archive_weights
+from repro.engine.cache import archive_weights, split_optimizer_arrays
 from repro.nn.module import Module
 from repro.robustness.config import ExplorationConfig
 from repro.robustness.learnability import train_and_score
 from repro.robustness.results import CellResult
 from repro.robustness.security import robustness_curve
+from repro.utils.logging import get_logger
 from repro.utils.seeding import SeedSequence
+from repro.utils.serialization import load_npz
 
 if TYPE_CHECKING:  # avoids a runtime cycle: engine.cache imports this module
     from repro.engine.cache import WeightCache
@@ -44,10 +50,13 @@ if TYPE_CHECKING:  # avoids a runtime cycle: engine.cache imports this module
 __all__ = [
     "CellTask",
     "ExplorationJobContext",
+    "WarmStartRef",
     "build_cell_tasks",
     "make_cell_task",
     "run_cell_task",
 ]
+
+_logger = get_logger("engine")
 
 ModelFactory = Callable[[float, int, int], Module]
 """``(v_th, time_window, seed) -> model`` builder used per grid cell."""
@@ -83,6 +92,37 @@ class CellTask:
         """Weight-cache key of this cell's trained model."""
         return f"cell_vth{self.v_th:g}_T{self.time_window}"
 
+    @property
+    def params(self) -> dict[str, float]:
+        """Structural parameters of this cell, as archived in weight
+        metadata and fed to the neighbour index."""
+        return {"v_th": float(self.v_th), "time_window": float(self.time_window)}
+
+
+@dataclass(frozen=True)
+class WarmStartRef:
+    """Pointer to a cached archive a cell should initialise from (picklable).
+
+    Produced by the search scheduler's per-rung warm-start plan — always
+    from caches *frozen before the rung starts*, so every worker derives
+    the identical plan — and consumed by :func:`run_cell_task`, which
+    loads the archive, skips ``source_epochs`` of the shuffle stream and
+    trains only the remaining budget.
+    """
+
+    path: str
+    """Absolute path of the source ``.npz`` archive."""
+
+    source_key: str
+    """Weight-cache key the source was stored under."""
+
+    source_epochs: int
+    """Training budget the source archive completed (the resume point)."""
+
+    distance: float
+    """Normalised structural-parameter distance to this cell (``0.0`` when
+    resuming the cell's own lower-budget checkpoint)."""
+
 
 @dataclass
 class ExplorationJobContext:
@@ -111,6 +151,11 @@ class ExplorationJobContext:
     reuse_weights: bool = False
     """Load cached weights instead of retraining (``--resume`` semantics:
     caches are written eagerly but reused only on request)."""
+
+    warm_start: "dict[int, WarmStartRef] | None" = None
+    """Per-task warm-start plan (``task.index -> WarmStartRef``), frozen
+    before execution starts.  Cells without an entry — and cells whose
+    source archive turns out unreadable — train cold."""
 
 
 def make_cell_task(
@@ -147,6 +192,27 @@ def build_cell_tasks(config: ExplorationConfig) -> list[CellTask]:
     return tasks
 
 
+def _load_warm_state(
+    ref: WarmStartRef,
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray] | None] | None:
+    """``(state_dict, optimizer_state)`` of a warm-start source archive.
+
+    A vanished or corrupt source degrades to a cold start (``None``)
+    rather than failing the cell — the plan is advisory, the result stays
+    correct either way (only the provenance field records what actually
+    happened).  The optimizer half is ``None`` for archives that predate
+    optimizer bundling; those resume as a re-anneal with fresh moments.
+    """
+    try:
+        arrays, _ = load_npz(ref.path)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        _logger.warning(
+            "warm-start source %s unreadable; cell trains cold", ref.path
+        )
+        return None
+    return split_optimizer_arrays(arrays)
+
+
 def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
     """Run learnability + security analysis for one grid cell (pure).
 
@@ -155,6 +221,11 @@ def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
     is re-gated against the (possibly changed) accuracy threshold and
     only the security sweep is recomputed — the path that makes
     "new ε list, same grid" runs cheap.
+
+    With a warm-start plan naming this task, training initialises from
+    the referenced archive and runs only the remaining epochs past the
+    source's completed budget (``start_epoch`` resume); the provenance
+    lands in :attr:`CellResult.warm_start` and in the archived metadata.
     """
     start = time.perf_counter()
     phase_seconds: dict[str, float] = {}
@@ -163,32 +234,62 @@ def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
     cached = None
     if context.weight_cache is not None and context.reuse_weights:
         cached = context.weight_cache.get(task.weight_key, task.cell_seed)
+    warm_start: dict | None = None
     if cached is not None:
         state, metadata = cached
         model.load_state_dict(state)
         clean_accuracy = float(metadata["clean_accuracy"])
         diverged = False
         learnable = clean_accuracy >= config.accuracy_threshold
+        raw_warm = metadata.get("warm_start")
+        warm_start = dict(raw_warm) if isinstance(raw_warm, dict) else None
     else:
         training = replace(config.training, seed=task.cell_seed & 0x7FFFFFFF)
+        ref = (context.warm_start or {}).get(task.index)
+        loaded = _load_warm_state(ref) if ref is not None else None
+        initial_state, initial_optimizer_state = loaded if loaded else (None, None)
+        start_epoch = 0
+        if initial_state is not None:
+            # Resume past the source's completed budget, but always train
+            # at least one epoch here — a cell promoted onto an equal or
+            # larger source budget still owes the gate fresh training.
+            start_epoch = min(int(ref.source_epochs), max(training.epochs - 1, 0))
+            warm_start = {
+                "source_file": Path(ref.path).name,
+                "source_key": ref.source_key,
+                "source_epochs": int(ref.source_epochs),
+                "start_epoch": start_epoch,
+                "distance": float(ref.distance),
+            }
         learn = train_and_score(
             model,
             context.train_set,
             context.test_set,
             training,
             config.accuracy_threshold,
+            initial_state=initial_state,
+            start_epoch=start_epoch,
+            initial_optimizer_state=initial_optimizer_state,
         )
         clean_accuracy = learn.clean_accuracy
         diverged = learn.diverged
         learnable = learn.learnable
         if not diverged:
             # Diverged weights are useless for re-sweeps; don't archive them.
+            metadata = {
+                "clean_accuracy": clean_accuracy,
+                "params": task.params,
+                "epochs": training.epochs,
+            }
+            if warm_start is not None:
+                metadata["warm_start"] = warm_start
             archive_weights(
                 context.weight_cache,
                 task.weight_key,
                 task.cell_seed,
                 model.state_dict(),
-                {"clean_accuracy": clean_accuracy},
+                metadata,
+                optimizer_state=learn.optimizer_state,
             )
     # train_and_score folds training and the clean-accuracy gate into one
     # call, so the cell-level breakdown reports them as one train phase.
@@ -216,4 +317,5 @@ def run_cell_task(context: ExplorationJobContext, task: CellTask) -> CellResult:
         elapsed_seconds=time.perf_counter() - start,
         phase_seconds=phase_seconds,
         worker=current_process().name,
+        warm_start=warm_start,
     )

@@ -90,8 +90,13 @@ def _train_stacked(
     stack: VariantStack,
     trainings: Sequence[TrainingConfig],
     train_set: ArrayDataset,
-) -> list[bool]:
-    """Train every lane of ``stack`` at once; returns per-lane diverged flags.
+) -> tuple[list[bool], list[Adam]]:
+    """Train every lane of ``stack`` at once.
+
+    Returns per-lane diverged flags plus the per-lane optimizers, so the
+    caller can archive Adam moments exactly as the unstacked path does
+    (cross-mode archive parity: a search rung must be resumable the same
+    way whether its cells trained stacked or not).
 
     Mirrors ``Trainer.fit``/``_run_epoch`` per lane: the loaders are
     created once (their per-epoch reshuffles must advance exactly as the
@@ -148,7 +153,7 @@ def _train_stacked(
                 if shared.max_grad_norm is not None:
                     _clip_lane_gradients(optimizer, shared.max_grad_norm)
                 optimizer.step()
-    return diverged
+    return diverged, optimizers
 
 
 def _evaluate_stacked(
@@ -341,7 +346,7 @@ def run_stacked_group(
     trainings = [
         replace(config.training, seed=task.cell_seed & 0x7FFFFFFF) for task in tasks
     ]
-    train_diverged = _train_stacked(stack, trainings, context.train_set)
+    train_diverged, optimizers = _train_stacked(stack, trainings, context.train_set)
     accuracies = _evaluate_stacked(
         stack, context.test_set, config.training.eval_batch_size
     )
@@ -357,7 +362,12 @@ def run_stacked_group(
                 task.weight_key,
                 task.cell_seed,
                 models[lane].state_dict(),
-                {"clean_accuracy": clean[lane]},
+                {
+                    "clean_accuracy": clean[lane],
+                    "params": task.params,
+                    "epochs": config.training.epochs,
+                },
+                optimizer_state=optimizers[lane].state_dict(),
             )
     train_phase = time.perf_counter() - start
 
@@ -443,15 +453,22 @@ def pack_stacks(
     order for the next group.  Cells whose trained weights are already
     archived are diverted to ``singles`` — their "training" is a cache
     read the stacked trainer has no business mirroring — as are cells
-    whose models fail :func:`~repro.snn.stack.stack_compatibility` on
-    their own (the trusted-twin fallback, per cell, not per stack).
+    named by the context's warm-start plan (the fused trainer always
+    lane-folds from cold init; a warm resume must go through
+    :func:`~repro.engine.job.run_cell_task` so stacked and unstacked
+    runs of the same plan stay bitwise identical) and cells whose models
+    fail :func:`~repro.snn.stack.stack_compatibility` on their own (the
+    trusted-twin fallback, per cell, not per stack).
     """
     weight_cache = context.weight_cache
     reuse = weight_cache is not None and context.reuse_weights
+    warm_plan = context.warm_start or {}
     singles: list[CellTask] = []
     queue: deque[CellTask] = deque()
     for task in tasks:
         if reuse and weight_cache.path_for(task.weight_key, task.cell_seed).is_file():
+            singles.append(task)
+        elif task.index in warm_plan:
             singles.append(task)
         else:
             queue.append(task)

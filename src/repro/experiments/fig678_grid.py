@@ -20,6 +20,12 @@ from repro.engine.queue import (
     run_queued_tasks,
 )
 from repro.engine.scheduler import run_cell_tasks
+from repro.engine.search import (
+    SearchConfig,
+    SearchResult,
+    derive_schedule,
+    run_halving_search,
+)
 from repro.engine.stacking import run_stacked_cell_tasks
 from repro.engine.shard import (
     ShardRunResult,
@@ -33,7 +39,14 @@ from repro.robustness.report import render_heatmap
 from repro.robustness.results import ExplorationResult
 from repro.utils.logging import get_logger
 
-__all__ = ["fig6_table", "fig7_table", "fig8_table", "run_grid_exploration"]
+__all__ = [
+    "fig6_table",
+    "fig7_table",
+    "fig8_table",
+    "grid_search_tags",
+    "run_grid_exploration",
+    "run_grid_search",
+]
 
 _logger = get_logger("experiments.grid")
 
@@ -247,14 +260,7 @@ def run_grid_exploration(
     if cache_dir is not None:
         # The factory cannot be hashed; tags pin everything it derives from.
         fingerprint = context_fingerprint(
-            explorer.context,
-            tags={
-                "experiment": "fig678_grid",
-                "profile": profile.name,
-                "model": profile.snn_model,
-                "image_size": profile.image_size,
-                "input_scale": profile.input_scale,
-            },
+            explorer.context, tags=grid_search_tags(profile)
         )
         cache = CellCache(cache_dir, fingerprint)
     if queue_dir is not None:
@@ -283,6 +289,88 @@ def run_grid_exploration(
         # Unsharded runs record the degenerate 0/1 shard, so any cache
         # directory answers `cache verify` with a completion claim.
         record_durable_manifest(cache_dir, cache, "grid", explorer.tasks(), None)
+    return result
+
+
+def grid_search_tags(profile: ExperimentProfile) -> dict:
+    """The grid experiment's cache-identity tags, shared with the search.
+
+    The guided search caches its rung checkpoints under these same tags
+    (plus its own ``search``/``budget``/``warm_plan`` qualifiers), so the
+    artifacts live alongside — but never collide with — the exhaustive
+    grid's in one cache directory.
+    """
+    return {
+        "experiment": "fig678_grid",
+        "profile": profile.name,
+        "model": profile.snn_model,
+        "image_size": profile.image_size,
+        "input_scale": profile.input_scale,
+    }
+
+
+def run_grid_search(
+    profile: ExperimentProfile | str = "smoke",
+    search: SearchConfig | None = None,
+    verbose: bool = False,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    resume: bool = False,
+    start_method: str = "auto",
+    stack: int = 1,
+    queue_dir: str | Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> SearchResult:
+    """Guided (successive-halving) replacement for the exhaustive grid.
+
+    Same measurement recipe as :func:`run_grid_exploration` — identical
+    context, seeds and attacked-accuracy metrics per cell — but cells are
+    first screened on small epoch budgets and only the promising fraction
+    graduates to the full budget, warm-starting from cached lower-budget
+    weights along the way (see :mod:`repro.engine.search`).  Requires
+    ``cache_dir``; composes with ``jobs``, ``stack`` and ``queue_dir``
+    (the search queue roots at ``<queue_dir>/grid-search`` so a guided
+    fleet never crosses wires with an exhaustive one).  Static sharding
+    is deliberately unsupported: promotions need every cell of a rung.
+
+    Returns a :class:`~repro.engine.search.SearchResult`; its
+    ``exploration()`` view renders through the usual Fig. 6-8 tables
+    (pruned cells show as gaps — that is the saving).
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    if search is None:
+        search = SearchConfig(
+            schedule=derive_schedule(profile.training_config().epochs)
+        )
+    context = build_grid_context(profile, cache_dir=None, reuse_weights=False)
+    served = 0
+
+    def progress(task, cell, from_cache: bool) -> None:
+        nonlocal served
+        served += 1
+        if verbose:
+            _logger.info(
+                "[search %d] Vth=%g T=%d acc=%.3f%s",
+                served, task.v_th, task.time_window,
+                cell.clean_accuracy, " (cached)" if from_cache else "",
+            )
+
+    result = run_halving_search(
+        context,
+        search,
+        cache_dir,
+        tags=grid_search_tags(profile),
+        jobs=jobs,
+        stack=stack,
+        start_method=start_method,
+        resume=resume,
+        queue_dir=None if queue_dir is None else Path(queue_dir) / "grid-search",
+        lease_ttl=lease_ttl,
+        experiment="grid",
+        progress=progress,
+    )
+    result.metadata["profile"] = profile.name
     return result
 
 

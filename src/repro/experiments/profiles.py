@@ -4,6 +4,9 @@ All profiles run the *same code path*; they differ only in grid density,
 sample counts and training length (DESIGN.md §4):
 
 * ``micro`` — seconds; used by the integration tests.
+* ``micro-search`` — micro's scale with a longer budget (6 epochs over a
+  3x2 grid) and an open learnability gate; the guided-search CI job
+  needs rungs to halve over and robustness numbers to rank by.
 * ``smoke`` — minutes on CPU; default for the pytest benchmarks. Grid and
   budgets cover the paper's interesting region (thresholds 0.25-2.25,
   windows 8-48, ε up to 2) at reduced density.
@@ -131,6 +134,36 @@ _MICRO = ExperimentProfile(
     seed=0xD47E,
 )
 
+_MICRO_SEARCH = ExperimentProfile(
+    name="micro-search",
+    image_size=12,
+    num_train=80,
+    num_test=40,
+    attack_subset=20,
+    snn_model="snn_lenet_mini",
+    cnn_model="lenet_mini",
+    fig1_snn_model="snn_cnn5",
+    fig1_cnn_model="cnn5",
+    time_steps_default=10,
+    # Longer budget than micro so a guided search has rungs to halve
+    # over (micro's 2 epochs leave no room below the full budget), and
+    # an open learnability gate so every cell reaches the attack phase —
+    # the search CI job ranks by robustness, which needs robust numbers.
+    epochs=6,
+    batch_size=16,
+    learning_rate=5e-3,
+    pgd_steps=3,
+    # Dense enough (12 cells) that successive halving's pruning pays for
+    # the warm-start bias audit with train-seconds to spare.
+    v_thresholds=(0.25, 0.5, 0.75, 1.0, 1.25, 1.5),
+    time_windows=(8, 16),
+    grid_epsilons=(1.0,),
+    curve_epsilons=(0.0, 1.0),
+    sweet_spots=((1.0, 16), (0.5, 8)),
+    accuracy_threshold=0.0,
+    seed=0xD47E,
+)
+
 _SMOKE = ExperimentProfile(
     name="smoke",
     image_size=16,
@@ -179,7 +212,7 @@ _PAPER = ExperimentProfile(
     seed=0xD47E,
 )
 
-_PROFILES = {p.name: p for p in (_MICRO, _SMOKE, _PAPER)}
+_PROFILES = {p.name: p for p in (_MICRO, _MICRO_SEARCH, _SMOKE, _PAPER)}
 
 
 def available_profiles() -> tuple[str, ...]:

@@ -41,6 +41,7 @@ from pathlib import Path
 from repro.engine.cache import (
     cache_stats,
     clear_cache_dir,
+    entry_provenance,
     entry_timings,
     fingerprint_matches,
     gc_cache_dir,
@@ -53,6 +54,7 @@ from repro.engine.queue import (
     WorkQueue,
     queue_status,
 )
+from repro.engine.search import SearchConfig, derive_schedule, parse_budget_schedule
 from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.experiments.ablations import run_ablation_suite
 from repro.experiments.fig1_motivation import run_fig1
@@ -61,6 +63,7 @@ from repro.experiments.fig678_grid import (
     fig7_table,
     fig8_table,
     run_grid_exploration,
+    run_grid_search,
 )
 from repro.experiments.fig9_sweetspots import run_fig9
 from repro.experiments.profiles import available_profiles, get_profile
@@ -91,6 +94,13 @@ def _parse_epsilons(text: str) -> tuple[float, ...]:
 def _parse_shard(text: str) -> ShardSpec:
     try:
         return ShardSpec.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _parse_budget_schedule(text: str) -> tuple[int, ...]:
+    try:
+        return parse_budget_schedule(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
 
@@ -209,10 +219,56 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
         help="Fig. 1 motivational CNN-vs-SNN comparison (serial)",
     )
-    subparsers.add_parser(
+    grid = subparsers.add_parser(
         "grid",
         parents=[common, engine],
         help="Figs. 6-8 (Vth, T) grid exploration (Algorithm 1)",
+    )
+    grid.add_argument(
+        "--search",
+        choices=("exhaustive", "halving"),
+        default="exhaustive",
+        help="grid strategy: exhaustive trains every cell at the full "
+        "budget (the paper's Algorithm 1); halving screens cells on "
+        "ascending epoch budgets and promotes only the top fraction per "
+        "rung, warm-starting from cached lower-budget weights (requires a "
+        "cache directory; conflicts with --shard and --no-cache)",
+    )
+    grid.add_argument(
+        "--budget-schedule",
+        type=_parse_budget_schedule,
+        default=None,
+        metavar="E1,E2,...",
+        help="halving only: ascending per-rung epoch budgets; the last "
+        "must equal the profile's full training budget (default: a "
+        "geometric schedule ending there, e.g. 2,4,8 for 8 epochs)",
+    )
+    grid.add_argument(
+        "--halving-eta",
+        type=float,
+        default=None,
+        metavar="ETA",
+        help="halving only: keep ceil(n/ETA) cells per promotion "
+        "(default: 2, classic halving)",
+    )
+    grid.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="halving only: initialise promoted cells from the nearest "
+        "cached lower-budget weights instead of training cold "
+        "(default: enabled; audited by the warm-vs-cold bias gate, "
+        "which disables it mid-search when metrics diverge beyond "
+        "--bias-tolerance)",
+    )
+    grid.add_argument(
+        "--bias-tolerance",
+        type=float,
+        default=None,
+        metavar="DELTA",
+        help="halving only: maximum warm-vs-cold divergence (absolute "
+        "difference over clean accuracy and every robustness point) the "
+        "bias gate accepts before disabling warm-start (default: 0.1)",
     )
     subparsers.add_parser(
         "fig9",
@@ -453,6 +509,48 @@ def _run_grid(
             print(f"  {pick.render()}")
     _print_engine_summary(result.metadata)
     _write_json(out_dir, f"grid_{profile.name}", result.to_json())
+
+
+def _run_grid_search(
+    profile,
+    out_dir: Path | None,
+    search: SearchConfig,
+    jobs: int = 1,
+    cache_dir: Path | None = None,
+    resume: bool = False,
+    start_method: str = "auto",
+    stack: int = 1,
+    queue_dir: Path | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> None:
+    """``grid --search halving``: guided exploration instead of the sweep.
+
+    Unlike the exhaustive queue mode, every fleet worker blocks per rung
+    until the rung completes, so each one independently derives the full
+    :class:`~repro.engine.search.SearchResult` — the report below is
+    printed (identically) by every worker.
+    """
+    result = run_grid_search(
+        profile,
+        search=search,
+        verbose=True,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        start_method=start_method,
+        stack=stack,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
+    )
+    exploration = result.exploration()
+    print(fig6_table(exploration))
+    print()
+    print(fig7_table(exploration))
+    print()
+    print(fig8_table(exploration))
+    print()
+    print(result.render())
+    _write_json(out_dir, f"grid_search_{profile.name}", result.to_json())
 
 
 def _run_fig9(
@@ -803,6 +901,7 @@ def _run_cache(args) -> int:
                         "size_bytes": e.size_bytes,
                         "age_seconds": round(e.age_seconds(), 1),
                         "timings": entry_timings(e),
+                        "provenance": entry_provenance(e),
                     }
                     for e in entries
                 ],
@@ -822,6 +921,16 @@ def _run_cache(args) -> int:
                 suffix = "  " + " ".join(
                     f"{key.removesuffix('_s')}={value:.1f}s"
                     for key, value in timings.items()
+                )
+            provenance = entry_provenance(entry)
+            warm = (provenance or {}).get("warm_start")
+            if warm:
+                # Warm-start lineage: which archive seeded this one, and
+                # from how far away — the trail `cache gc` keeps alive.
+                suffix += (
+                    f"  warm<-{warm.get('source_file', '?')}"
+                    f"@{warm.get('source_epochs', '?')}ep"
+                    f" d={warm.get('distance', 0.0):.2f}"
                 )
             print(
                 f"{entry.kind:<8} {entry.fingerprint} "
@@ -892,6 +1001,36 @@ def main(argv: list[str] | None = None) -> int:
                 "--queue workers are single-process; scale the fleet by "
                 "starting more workers instead of --jobs"
             )
+    search_mode = getattr(args, "search", "exhaustive")
+    search_flags = {
+        "--budget-schedule": getattr(args, "budget_schedule", None),
+        "--halving-eta": getattr(args, "halving_eta", None),
+        "--warm-start/--no-warm-start": getattr(args, "warm_start", None),
+        "--bias-tolerance": getattr(args, "bias_tolerance", None),
+    }
+    if search_mode != "halving":
+        stray = [flag for flag, value in search_flags.items() if value is not None]
+        if stray:
+            parser.error(f"{stray[0]} requires --search halving")
+    else:
+        if args.no_cache:
+            parser.error(
+                "--search halving needs checkpoints — rung results are the "
+                "promotion transport and weight archives the warm-start "
+                "source; drop --no-cache"
+            )
+        if args.shard is not None:
+            parser.error(
+                "--search halving conflicts with --shard: promotions need "
+                "every cell of a rung; use --queue for a multi-host search"
+            )
+        if getattr(args, "halving_eta", None) is not None and args.halving_eta <= 1:
+            parser.error("--halving-eta must be > 1")
+        if (
+            getattr(args, "bias_tolerance", None) is not None
+            and args.bias_tolerance < 0
+        ):
+            parser.error("--bias-tolerance must be >= 0")
     cache_dir: Path | None = None
     if not args.no_cache:
         if args.cache_dir is not None:
@@ -951,12 +1090,51 @@ def main(argv: list[str] | None = None) -> int:
                 "belongs to shard 0"
             )
     if args.command in ("grid", "all"):
-        planned.append(
-            (
-                "grid",
-                lambda: _run_grid(profile, args.out, stack=stack, **engine_kwargs),
+        if search_mode == "halving":
+            full_epochs = profile.training_config().epochs
+            schedule = search_flags["--budget-schedule"] or derive_schedule(full_epochs)
+            search_config = SearchConfig(
+                schedule=schedule,
+                eta=search_flags["--halving-eta"] or 2.0,
+                warm_start=(
+                    True
+                    if search_flags["--warm-start/--no-warm-start"] is None
+                    else search_flags["--warm-start/--no-warm-start"]
+                ),
+                bias_tolerance=(
+                    0.1
+                    if search_flags["--bias-tolerance"] is None
+                    else search_flags["--bias-tolerance"]
+                ),
             )
-        )
+            try:
+                search_config.validate(full_epochs)
+            except ValueError as error:
+                parser.error(str(error))
+            planned.append(
+                (
+                    "grid",
+                    lambda: _run_grid_search(
+                        profile,
+                        args.out,
+                        search_config,
+                        jobs=args.jobs,
+                        cache_dir=cache_dir,
+                        resume=args.resume,
+                        start_method=args.start_method,
+                        stack=stack,
+                        queue_dir=args.queue,
+                        lease_ttl=args.lease_ttl,
+                    ),
+                )
+            )
+        else:
+            planned.append(
+                (
+                    "grid",
+                    lambda: _run_grid(profile, args.out, stack=stack, **engine_kwargs),
+                )
+            )
     if args.command in ("fig9", "all"):
         planned.append(
             (

@@ -39,6 +39,48 @@ class Adam(Optimizer):
         self._m: list[np.ndarray | None] = [None] * len(self.parameters)
         self._v: list[np.ndarray | None] = [None] * len(self.parameters)
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Moment estimates and step count as a flat array mapping.
+
+        The inverse of :meth:`load_state_dict`; together they make a
+        resumed training run a bitwise *continuation* rather than a
+        re-anneal (see ``Trainer.fit``).  Parameters that never received
+        a gradient have no entries.
+        """
+        state: dict[str, np.ndarray] = {
+            "step_count": np.asarray(self._step_count, dtype=np.int64)
+        }
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            if m is not None:
+                state[f"m{index}"] = m
+                state[f"v{index}"] = v
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore moments previously exported by :meth:`state_dict`.
+
+        The optimizer must manage the same parameter list (same order and
+        shapes) the state was exported from; shape mismatches raise
+        ``ValueError`` rather than corrupting the update arithmetic.
+        """
+        self._step_count = int(state["step_count"])
+        for index, parameter in enumerate(self.parameters):
+            m = state.get(f"m{index}")
+            v = state.get(f"v{index}")
+            if m is None or v is None:
+                self._m[index] = None
+                self._v[index] = None
+                continue
+            m = np.asarray(m)
+            v = np.asarray(v)
+            if m.shape != parameter.data.shape or v.shape != parameter.data.shape:
+                raise ValueError(
+                    f"optimizer state {index} has shape {m.shape}/{v.shape}, "
+                    f"parameter expects {parameter.data.shape}"
+                )
+            self._m[index] = m
+            self._v[index] = v
+
     def _decayed_gradient(self, parameter: Parameter) -> np.ndarray:
         grad = parameter.grad
         if self.weight_decay:

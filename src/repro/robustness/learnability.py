@@ -7,7 +7,9 @@ the robustness of SNNs with low baseline performance" (paper §V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.errors import TrainingError
@@ -33,6 +35,13 @@ class LearnabilityResult:
     history: TrainingHistory
     """Per-epoch training record."""
 
+    optimizer_state: dict[str, np.ndarray] | None = field(
+        default=None, compare=False, repr=False
+    )
+    """Adam moments at the end of training (``None`` for diverged runs).
+    Archived next to the weights so a later higher-budget resume is a
+    bitwise continuation instead of a re-anneal."""
+
 
 def train_and_score(
     model: Module,
@@ -40,25 +49,48 @@ def train_and_score(
     test_set: ArrayDataset,
     training_config: TrainingConfig,
     accuracy_threshold: float,
+    *,
+    initial_state: dict[str, np.ndarray] | None = None,
+    start_epoch: int = 0,
+    initial_optimizer_state: dict[str, np.ndarray] | None = None,
 ) -> LearnabilityResult:
     """Train ``model`` and evaluate the learnability gate.
 
     A diverged run (non-finite loss) is treated as non-learnable with zero
     accuracy rather than an error: the paper's heat map (Fig. 6) includes
     such failed cells as low-accuracy entries.
+
+    ``initial_state``/``start_epoch`` form the resume-from-weights entry
+    point used by warm-started search cells and promoted partial-budget
+    checkpoints: the state is loaded before training and only the epochs
+    past ``start_epoch`` execute.  Passing the checkpoint's
+    ``initial_optimizer_state`` alongside makes the resume a bitwise
+    continuation (see :meth:`Trainer.fit` for the shuffle and
+    optimizer-state semantics).  The gate itself is unchanged — the
+    final accuracy is scored against ``accuracy_threshold`` exactly as a
+    cold run's would be.
     """
+    if initial_state is not None:
+        model.load_state_dict(initial_state)
     trainer = Trainer(model, training_config)
     try:
-        history = trainer.fit(train_set)
+        history = trainer.fit(
+            train_set,
+            start_epoch=start_epoch,
+            optimizer_state=initial_optimizer_state,
+        )
         clean_accuracy = trainer.evaluate(test_set)
         diverged = False
+        optimizer_state = trainer.optimizer.state_dict()
     except TrainingError:
         history = trainer.history
         clean_accuracy = 0.0
         diverged = True
+        optimizer_state = None
     return LearnabilityResult(
         clean_accuracy=clean_accuracy,
         learnable=clean_accuracy >= accuracy_threshold,
         diverged=diverged,
         history=history,
+        optimizer_state=optimizer_state,
     )

@@ -53,6 +53,19 @@ class CellResult:
     stack_index: int = field(default=0, compare=False)
     """This cell's lane within its variant stack (``0`` when unstacked)."""
 
+    warm_start: dict | None = field(default=None, compare=False)
+    """Provenance of the warm-start initialisation, when one was used.
+
+    Keys: ``source_file`` (archive filename the initial weights came
+    from), ``source_key`` / ``source_epochs`` (which cell trained them,
+    for how long), ``start_epoch`` (epochs skipped here) and ``distance``
+    (normalised structural-parameter distance; ``0`` for the cell's own
+    lower-budget checkpoint).  ``None`` for cold-started cells.  Execution
+    provenance like :attr:`worker` — excluded from equality and stripped
+    by ``scripts/compare_results.py``; the bias gate (docs/search.md) is
+    what guards the science behind it.
+    """
+
     def as_dict(self) -> dict:
         """JSON-friendly representation (epsilon keys stringified)."""
         return {
@@ -67,6 +80,7 @@ class CellResult:
             "worker": self.worker,
             "stack_size": self.stack_size,
             "stack_index": self.stack_index,
+            "warm_start": dict(self.warm_start) if self.warm_start else None,
         }
 
     @staticmethod
@@ -87,6 +101,9 @@ class CellResult:
             worker=str(payload.get("worker", "")),
             stack_size=int(payload.get("stack_size", 1)),
             stack_index=int(payload.get("stack_index", 0)),
+            warm_start=dict(payload["warm_start"])
+            if payload.get("warm_start")
+            else None,
         )
 
 

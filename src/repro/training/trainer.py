@@ -112,18 +112,35 @@ class Trainer:
         train_set: ArrayDataset,
         eval_set: ArrayDataset | None = None,
         verbose: bool = False,
+        start_epoch: int = 0,
+        optimizer_state: dict | None = None,
     ) -> TrainingHistory:
         """Run the configured number of epochs; returns the history.
 
+        ``start_epoch`` resumes a run whose first epochs already happened
+        elsewhere (warm-start from checkpointed weights): the model is
+        assumed to hold the epoch-``start_epoch`` parameters, the shuffle
+        stream is advanced past the epochs already consumed, and only the
+        remaining ``epochs - start_epoch`` passes execute.  When the
+        checkpoint also carried ``optimizer_state`` (Adam moments, see
+        :meth:`Adam.state_dict`), passing it here makes the resume a
+        bitwise continuation of the original run; without it the moments
+        restart cold and resumed training is a warm re-anneal instead.
+
         Raises :class:`TrainingError` if the loss becomes non-finite.
         """
+        if start_epoch < 0:
+            raise ValueError(f"start_epoch must be >= 0, got {start_epoch}")
+        if optimizer_state is not None:
+            self.optimizer.load_state_dict(optimizer_state)
         loader = DataLoader(
             train_set,
             batch_size=self.config.batch_size,
             shuffle=self.config.shuffle,
             seed=self.config.seed,
         )
-        for epoch in range(self.config.epochs):
+        loader.skip_epochs(min(start_epoch, self.config.epochs))
+        for epoch in range(start_epoch, self.config.epochs):
             loss_value, train_acc = self._run_epoch(loader)
             self.history.train_loss.append(loss_value)
             self.history.train_accuracy.append(train_acc)

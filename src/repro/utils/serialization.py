@@ -65,3 +65,19 @@ def load_npz(path: str | Path) -> tuple[dict[str, np.ndarray], dict | None]:
             raw = archive[_METADATA_KEY].tobytes().decode("utf-8")
             metadata = json.loads(raw)
     return arrays, metadata
+
+
+def load_npz_metadata(path: str | Path) -> dict | None:
+    """Load *only* the metadata of an archive written by :func:`save_npz`.
+
+    ``np.load`` maps npz members lazily, so this decompresses just the
+    metadata record — the bulk arrays are never touched.  Directory-wide
+    scans (weight-cache neighbour index, GC ancestor tracking) rely on
+    this staying cheap for archives holding megabytes of parameters.
+    Returns ``None`` when the archive carries no metadata.
+    """
+    with np.load(Path(path)) as archive:
+        if _METADATA_KEY not in archive.files:
+            return None
+        raw = archive[_METADATA_KEY].tobytes().decode("utf-8")
+    return json.loads(raw)
