@@ -10,6 +10,11 @@ Two invariants:
    user-facing parser flag must be documented in docs/cli.md.  Combined
    with the CI step that runs each subcommand's ``--help``, documented
    flags cannot drift from the implementation.
+3. **Metrics** — every metric in the engine's catalogue
+   (``repro.engine.metrics.CATALOG``) must be documented in
+   docs/observability.md with its exact type and label names, every
+   ``repro_*`` name the doc mentions must exist in the catalogue, and
+   every label value the catalogue enumerates must appear in the doc.
 
 Exits non-zero with one line per violation.
 """
@@ -90,16 +95,78 @@ def check_flags() -> list[str]:
     return errors
 
 
+METRIC_NAME_PATTERN = re.compile(r"\brepro_[a-z0-9_]+\b")
+
+_METRIC_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def check_metrics_docs() -> list[str]:
+    """docs/observability.md must match the code's metric catalogue."""
+    from repro.engine.metrics import CATALOG
+
+    doc = ROOT / "docs" / "observability.md"
+    if not doc.is_file():
+        return [f"missing {doc.relative_to(ROOT)}"]
+    text = doc.read_text()
+    mentioned = set(METRIC_NAME_PATTERN.findall(text))
+    catalogued = {entry["name"] for entry in CATALOG}
+    # Exposition-format examples legitimately mention derived histogram
+    # series (repro_..._bucket/_sum/_count); fold them onto their family.
+    normalized = set()
+    for name in mentioned:
+        for suffix in _METRIC_SUFFIXES:
+            base = name.removesuffix(suffix)
+            if base != name and base in catalogued:
+                name = base
+                break
+        normalized.add(name)
+    errors = []
+    for name in sorted(normalized - catalogued):
+        errors.append(
+            f"docs/observability.md mentions {name}, which the metric "
+            "catalogue (repro.engine.metrics.CATALOG) does not define"
+        )
+    for name in sorted(catalogued - normalized):
+        errors.append(
+            f"metric {name} is in the catalogue but not documented in "
+            "docs/observability.md"
+        )
+    for entry in CATALOG:
+        if entry["name"] not in normalized:
+            continue  # already reported as undocumented
+        if entry["type"] not in text:
+            errors.append(
+                f"docs/observability.md does not state that "
+                f"{entry['name']} is a {entry['type']}"
+            )
+        for label, values in entry["labels"].items():
+            if f"`{label}`" not in text and f'{label}="' not in text:
+                errors.append(
+                    f"docs/observability.md does not document label "
+                    f"{label!r} of {entry['name']}"
+                )
+            for value in values:
+                if value not in text:
+                    errors.append(
+                        f"docs/observability.md does not mention label "
+                        f"value {value!r} of {entry['name']}{{{label}}}"
+                    )
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + check_flags()
+    errors = check_links() + check_flags() + check_metrics_docs()
     for error in errors:
         print(error, file=sys.stderr)
     if errors:
         print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
         return 1
+    from repro.engine.metrics import CATALOG
+
     print(
         f"docs ok: {len(markdown_files())} markdown files, "
-        f"{len(parser_flags())} CLI flags cross-checked"
+        f"{len(parser_flags())} CLI flags and {len(CATALOG)} metrics "
+        "cross-checked"
     )
     return 0
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Gate a fleet run on its merged metrics (run by the CI grid-queue job).
+
+Reads every ``metrics_*.json`` snapshot under the given directories,
+merges them the same way ``cache metrics`` does, and asserts the
+fleet-health invariants:
+
+* **exactly-once** — ``repro_queue_events_total{event="commit"}`` plus
+  ``{event="cached"}`` equals ``--tasks`` (every task committed, none
+  twice: duplicates land in their own label, not here);
+* **no failures** — ``{event="failed"}`` is zero;
+* **the kill was survived** — with ``--min-steals N``, at least N
+  ``{event="steal"}`` events were recorded (the fault-injection run's
+  orphaned lease was actually stolen, not silently recomputed).
+
+Exits non-zero with one line per violated invariant.  See
+``docs/observability.md`` for the counters' semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine.metrics import merge_snapshots, read_metrics_dir  # noqa: E402
+
+
+def counter_value(snapshot: dict, name: str, **labels) -> float:
+    """Sum of the samples of ``name`` matching the given label subset."""
+    family = snapshot.get("metrics", {}).get(name)
+    if family is None:
+        return 0.0
+    total = 0.0
+    for sample in family["samples"]:
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            total += sample["value"]
+    return total
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "metrics_dir", nargs="+", type=Path,
+        help="--metrics-dir directories holding metrics_*.json snapshots",
+    )
+    parser.add_argument(
+        "--tasks", type=int, required=True,
+        help="expected task count: commits + cached must equal this",
+    )
+    parser.add_argument(
+        "--min-steals", type=int, default=0,
+        help="minimum steal events (1 after a --kill-one fault injection)",
+    )
+    args = parser.parse_args(argv)
+
+    snapshots = []
+    for directory in args.metrics_dir:
+        if not directory.is_dir():
+            print(f"check_metrics: {directory} is not a directory", file=sys.stderr)
+            return 1
+        snapshots.extend(read_metrics_dir(directory))
+    if not snapshots:
+        dirs = ", ".join(str(d) for d in args.metrics_dir)
+        print(f"check_metrics: no metrics_*.json snapshots under {dirs}",
+              file=sys.stderr)
+        return 1
+    try:
+        merged = merge_snapshots(snapshots)
+    except ValueError as error:
+        print(f"check_metrics: {error}", file=sys.stderr)
+        return 1
+
+    commits = counter_value(merged, "repro_queue_events_total", event="commit")
+    cached = counter_value(merged, "repro_queue_events_total", event="cached")
+    failed = counter_value(merged, "repro_queue_events_total", event="failed")
+    steals = counter_value(merged, "repro_queue_events_total", event="steal")
+    duplicates = counter_value(merged, "repro_queue_events_total", event="duplicate")
+
+    errors = []
+    if commits + cached != args.tasks:
+        errors.append(
+            f"commit ({commits:g}) + cached ({cached:g}) events != "
+            f"expected task count ({args.tasks}) — the queue did not "
+            "commit every task exactly once"
+        )
+    if failed != 0:
+        errors.append(f"{failed:g} failed event(s) — a worker's run_fn crashed")
+    if steals < args.min_steals:
+        errors.append(
+            f"only {steals:g} steal event(s), expected at least "
+            f"{args.min_steals} — the orphaned lease was never stolen"
+        )
+    for error in errors:
+        print(f"check_metrics: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print(
+        f"metrics ok: {len(snapshots)} snapshot(s) "
+        f"[{merged.get('worker', '')}] — {commits:g} commit(s), "
+        f"{cached:g} cached, {steals:g} steal(s), "
+        f"{duplicates:g} duplicate(s), 0 failed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,8 @@ def spawn_worker(args, worker_id: str) -> subprocess.Popen:
         command += ["--stack", str(args.stack)]
     if args.resume:
         command.append("--resume")
+    if args.metrics_dir is not None:
+        command += ["--metrics-dir", str(args.metrics_dir)]
     print(f"[fleet] starting {worker_id}: {' '.join(command)}")
     return subprocess.Popen(
         command,
@@ -96,6 +98,11 @@ def main() -> int:
     )
     parser.add_argument("--lease-ttl", type=float, default=2.0)
     parser.add_argument("--stack", type=int, default=1)
+    parser.add_argument(
+        "--metrics-dir", type=Path, default=None,
+        help="per-worker metrics snapshots for the fleet (gate them "
+        "afterwards with scripts/check_metrics.py)",
+    )
     parser.add_argument("--resume", action="store_true")
     parser.add_argument(
         "--kill-one", action="store_true",
@@ -115,6 +122,8 @@ def main() -> int:
     if args.cache_dir is None:
         args.cache_dir = args.queue / "cache"
     args.cache_dir = args.cache_dir.resolve()
+    if args.metrics_dir is not None:
+        args.metrics_dir = args.metrics_dir.resolve()
     if args.workers < 1 + int(args.kill_one):
         parser.error("--kill-one needs at least two workers (one must survive)")
 

@@ -62,6 +62,21 @@ from repro.engine.job import (
     make_cell_task,
     run_cell_task,
 )
+from repro.engine.metrics import (
+    CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    configure_metrics,
+    flush_metrics,
+    get_registry,
+    merge_snapshots,
+    metrics_enabled,
+    read_metrics_dir,
+    render_snapshot_text,
+    reset_metrics,
+)
 from repro.engine.merge import (
     CacheMergeError,
     MergeReport,
@@ -108,13 +123,18 @@ from repro.engine.sweep import (
 )
 
 __all__ = [
+    "CATALOG",
     "CacheEntry",
     "CacheMergeError",
     "CellCache",
     "CellTask",
     "ContextSpec",
+    "Counter",
     "ExplorationJobContext",
+    "Gauge",
+    "Histogram",
     "MergeReport",
+    "MetricsRegistry",
     "QueueError",
     "QueueRunResult",
     "RungReport",
@@ -135,21 +155,29 @@ __all__ = [
     "build_cell_tasks",
     "cache_stats",
     "clear_cache_dir",
+    "configure_metrics",
     "context_fingerprint",
     "derive_schedule",
     "entry_provenance",
     "entry_timings",
+    "flush_metrics",
     "gc_cache_dir",
+    "get_registry",
     "load_manifests",
     "make_cell_task",
     "make_sweep_task",
     "merge_cache_dirs",
     "merge_event_logs",
+    "merge_snapshots",
+    "metrics_enabled",
     "nearest_weight_entry",
     "parse_budget_schedule",
     "queue_status",
     "read_events",
+    "read_metrics_dir",
     "record_durable_manifest",
+    "render_snapshot_text",
+    "reset_metrics",
     "run_cell_task",
     "run_cell_tasks",
     "run_halving_search",

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
+from repro.engine.metrics import record_cache
 from repro.engine.sweep import SweepResult
 from repro.robustness.results import CellResult
 from repro.training.trainer import TrainingConfig
@@ -236,6 +237,11 @@ class _CheckpointCache:
 
     def get(self, task):
         """Load the checkpoint for ``task``; ``None`` on miss or corruption."""
+        result = self._load(task)
+        record_cache(self.kind, "hit" if result is not None else "miss")
+        return result
+
+    def _load(self, task):
         path = self.path_for(task)
         try:
             payload = json.loads(path.read_text())
@@ -260,6 +266,7 @@ class _CheckpointCache:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         os.replace(tmp, path)
+        record_cache(self.kind, "put")
         return path
 
     def any_entries(self) -> bool:
@@ -503,13 +510,17 @@ class WeightCache:
         """
         path = self.path_for(key, train_seed)
         if not path.is_file():
+            record_cache(self.kind, "miss")
             return None
         try:
             arrays, metadata = load_npz(path)
         except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            record_cache(self.kind, "miss")
             return None
         if not isinstance(metadata, dict) or "clean_accuracy" not in metadata:
+            record_cache(self.kind, "miss")
             return None
+        record_cache(self.kind, "hit")
         return split_optimizer_arrays(arrays)[0], metadata
 
     def put(
@@ -528,9 +539,11 @@ class WeightCache:
         if "clean_accuracy" not in metadata:
             raise ValueError("weight-cache metadata must record clean_accuracy")
         path = self.path_for(key, train_seed)
-        return save_npz(
+        written = save_npz(
             path, state, {**metadata, "key": str(key), "train_seed": int(train_seed)}
         )
+        record_cache(self.kind, "put")
+        return written
 
     def scan(self) -> list[WeightEntry]:
         """Enumerate this cache's archives with their stored metadata.
@@ -763,27 +776,65 @@ def entry_timings(entry: CacheEntry) -> dict[str, float] | None:
 
 
 def entry_provenance(entry: CacheEntry) -> dict | None:
-    """Training provenance stored inside a weight archive, if any.
+    """Training provenance stored inside a cache entry, if any.
 
-    Surfaces the key, structural params, completed epochs and — for
+    One shape for every entry kind (``cache stats --json`` and ``cache
+    inspect`` surface it identically): the variant ``key``, structural
+    ``params``, completed ``epochs``, ``train_seed`` and — for
     warm-started cells — the ``warm_start`` lineage (source archive,
-    epochs skipped, neighbour distance) that ``cache inspect`` prints.
-    Returns ``None`` for result checkpoints, metadata-less archives and
-    unreadable files.
+    epochs skipped, neighbour distance).  Weight archives read their npz
+    metadata; cell/sweep checkpoints read the task identity and result
+    payload of their JSON.  Returns ``None`` for metadata-less or
+    unreadable entries, matching :func:`entry_timings` miss semantics.
     """
-    if entry.kind != "weights":
+    if entry.kind == "weights":
+        try:
+            metadata = load_npz_metadata(entry.path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return None
+        if not isinstance(metadata, dict):
+            return None
+        provenance = {
+            name: metadata[name]
+            for name in ("key", "params", "epochs", "train_seed", "warm_start")
+            if name in metadata
+        }
+        return provenance or None
+    if entry.kind not in ("cell", "sweep"):
         return None
     try:
-        metadata = load_npz_metadata(entry.path)
-    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        payload = json.loads(entry.path.read_text())
+    except (OSError, ValueError):
         return None
-    if not isinstance(metadata, dict):
+    if not isinstance(payload, dict):
         return None
-    provenance = {
-        name: metadata[name]
-        for name in ("key", "params", "epochs", "train_seed", "warm_start")
-        if name in metadata
-    }
+    task = payload.get("task")
+    value = payload.get("cell") or payload.get("result")
+    task = task if isinstance(task, dict) else {}
+    value = value if isinstance(value, dict) else {}
+    provenance: dict = {}
+    if entry.kind == "cell":
+        if "v_th" in task and "time_window" in task:
+            provenance["params"] = {
+                "v_th": task["v_th"],
+                "time_window": task["time_window"],
+            }
+        if "cell_seed" in task:
+            provenance["train_seed"] = task["cell_seed"]
+    else:
+        if "key" in task:
+            provenance["key"] = task["key"]
+        params = task.get("params")
+        if isinstance(params, list):
+            provenance["params"] = {
+                str(pair[0]): pair[1]
+                for pair in params
+                if isinstance(pair, (list, tuple)) and len(pair) == 2
+            }
+        if "train_seed" in task:
+            provenance["train_seed"] = task["train_seed"]
+    if value.get("warm_start"):
+        provenance["warm_start"] = value["warm_start"]
     return provenance or None
 
 
@@ -801,12 +852,19 @@ def cache_stats(directory: str | Path, fingerprint: str | None = None) -> dict:
     result checkpoints that recorded one (``timed_entries`` of them) —
     the aggregate the cost-ordered scheduler and the BENCH trajectories
     read to see where a whole cache directory's compute went.
+
+    The ``provenance`` section counts, per kind, how many entries carry
+    training provenance (:func:`entry_provenance`) and how many of those
+    record a ``warm_start`` lineage — the same records ``cache inspect``
+    prints per entry, aggregated.
     """
     entries = [e for e in scan_cache_dir(directory) if fingerprint_matches(e, fingerprint)]
     by_kind: dict[str, dict[str, int]] = {}
     by_fingerprint: dict[str, int] = {}
     timing_totals: dict[str, float] = {}
     timed_entries = 0
+    provenance_entries = 0
+    warm_by_kind: dict[str, int] = {}
     for entry in entries:
         bucket = by_kind.setdefault(entry.kind, {"entries": 0, "bytes": 0})
         bucket["entries"] += 1
@@ -817,6 +875,11 @@ def cache_stats(directory: str | Path, fingerprint: str | None = None) -> dict:
             timed_entries += 1
             for key, value in timings.items():
                 timing_totals[key] = timing_totals.get(key, 0.0) + value
+        provenance = entry_provenance(entry)
+        if provenance:
+            provenance_entries += 1
+            if provenance.get("warm_start"):
+                warm_by_kind[entry.kind] = warm_by_kind.get(entry.kind, 0) + 1
     return {
         "directory": str(directory),
         "entries": len(entries),
@@ -828,6 +891,11 @@ def cache_stats(directory: str | Path, fingerprint: str | None = None) -> dict:
             "totals": {
                 key: round(value, 3) for key, value in sorted(timing_totals.items())
             },
+        },
+        "provenance": {
+            "entries": provenance_entries,
+            "warm_started": sum(warm_by_kind.values()),
+            "warm_started_by_kind": dict(sorted(warm_by_kind.items())),
         },
     }
 

@@ -1,0 +1,789 @@
+"""Process-local metrics registry with Prometheus-style text export.
+
+The engine's only telemetry used to be per-result ``phase_seconds``.
+This module generalizes it into an aggregate, fleet-mergeable view:
+
+* :class:`MetricsRegistry` — a thread-safe registry of
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` families,
+  each family keyed by a fixed label-name tuple and holding one child
+  per label-value combination;
+* :meth:`MetricsRegistry.render_text` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` / samples), so any scrape-side
+  tooling reads the snapshots unchanged;
+* :func:`flush_metrics` — an atomic per-worker snapshot writer
+  (``metrics_<worker>.prom`` plus a ``.json`` twin) suitable for the
+  multi-worker merge performed by ``cache metrics DIR``;
+* :func:`merge_snapshots` — the fleet view: counters and histograms
+  sum, gauges take the max (all three are associative and
+  commutative, so merge order never matters).
+
+Instrumentation is strictly observational.  The recording helpers
+(:func:`record_task`, :func:`record_cache`, :func:`record_queue_event`,
+...) are one-line no-ops until :func:`configure_metrics` points the
+module at a snapshot directory, and nothing here touches job results —
+serial, pool, stacked and queue outputs are byte-identical with
+metrics on or off (tested).
+
+Only the standard library is imported: every engine layer (scheduler,
+caches, queue, search, stacking) records through this module, so it
+must sit below all of them in the import graph.
+
+The metric catalogue (:data:`CATALOG`) is the single source of truth
+for names, types, labels and units; ``docs/observability.md`` is
+checked against it by ``scripts/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CATALOG",
+    "LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "configure_metrics",
+    "flush_metrics",
+    "get_registry",
+    "load_snapshot",
+    "merge_snapshots",
+    "metrics_dir",
+    "metrics_enabled",
+    "read_metrics_dir",
+    "record_cache",
+    "record_queue_event",
+    "record_search_promotion",
+    "record_search_rung",
+    "record_search_warm_start",
+    "record_task",
+    "render_snapshot_text",
+    "reset_metrics",
+    "set_queue_depth",
+    "snapshot_worker_id",
+]
+
+SNAPSHOT_VERSION = 1
+
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    10.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10000.0,
+    30000.0,
+    60000.0,
+    120000.0,
+    300000.0,
+    600000.0,
+)
+"""Fixed millisecond buckets for every latency histogram.
+
+Fixed (not adaptive) so that histograms from different workers merge by
+plain element-wise addition; the range spans a micro-profile attack
+(~tens of ms) to a paper-profile training phase (~minutes).
+"""
+
+CATALOG: tuple[dict, ...] = (
+    {
+        "name": "repro_tasks_total",
+        "type": "counter",
+        "help": "Tasks completed by the scheduler, by job kind and how the result was obtained.",
+        "labels": {
+            "job": ("cell", "sweep", "stacked"),
+            "status": ("computed", "cached"),
+        },
+        "unit": "tasks",
+    },
+    {
+        "name": "repro_task_phase_duration_ms",
+        "type": "histogram",
+        "help": "Per-task phase wall time from the result's phase_seconds telemetry.",
+        "labels": {
+            "job": ("cell", "sweep", "stacked"),
+            "phase": ("train", "attack", "eval"),
+        },
+        "unit": "milliseconds",
+    },
+    {
+        "name": "repro_cache_requests_total",
+        "type": "counter",
+        "help": "Checkpoint and weight-cache operations, by cache kind and outcome.",
+        "labels": {
+            "cache": ("cell", "sweep", "weights"),
+            "op": ("hit", "miss", "put"),
+        },
+        "unit": "operations",
+    },
+    {
+        "name": "repro_queue_events_total",
+        "type": "counter",
+        "help": "Work-queue lifecycle events appended to the per-worker event streams.",
+        "labels": {
+            "event": ("claim", "steal", "commit", "cached", "duplicate", "failed"),
+        },
+        "unit": "events",
+    },
+    {
+        "name": "repro_queue_depth",
+        "type": "gauge",
+        "help": "Tasks not yet committed in the queue this worker is draining, sampled each scheduling round.",
+        "labels": {},
+        "unit": "tasks",
+    },
+    {
+        "name": "repro_search_rungs_total",
+        "type": "counter",
+        "help": "Successive-halving rungs executed.",
+        "labels": {},
+        "unit": "rungs",
+    },
+    {
+        "name": "repro_search_promotions_total",
+        "type": "counter",
+        "help": "Per-cell promotion decisions at each non-final rung.",
+        "labels": {"outcome": ("promoted", "pruned")},
+        "unit": "cells",
+    },
+    {
+        "name": "repro_search_warm_starts_total",
+        "type": "counter",
+        "help": "Warm-start initialisations of promoted cells, by weight provenance.",
+        "labels": {"source": ("self", "neighbor")},
+        "unit": "cells",
+    },
+)
+"""Every metric the engine emits: name, type, label names with their
+value vocabulary, and unit.  ``docs/observability.md`` documents exactly
+this list; ``scripts/check_docs.py`` fails if either side drifts."""
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    """Prometheus-style number rendering: integers without a decimal point."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+class _Child:
+    """One label-value combination of a family.  Thread-safe via the
+    registry lock shared by every family and child."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+
+
+class Counter(_Child):
+    """Monotonically increasing count.  Merge semantics: sum."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, lock: threading.RLock):
+        super().__init__(lock)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Child):
+    """Point-in-time value (queue depth).  Merge semantics: max —
+    summing the same queue's depth observed by N workers would
+    overcount, the fleet-wide maximum is the honest aggregate."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, lock: threading.RLock):
+        super().__init__(lock)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Child):
+    """Cumulative-bucket histogram with fixed boundaries.
+
+    ``observe(v)`` increments every bucket whose upper bound is >= v
+    (rendered Prometheus-style with a final ``+Inf`` bucket), plus the
+    running sum and count.  Fixed boundaries make the merge a plain
+    element-wise addition.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.RLock, buckets: tuple[float, ...]):
+        super().__init__(lock)
+        self.buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    @property
+    def cumulative_counts(self) -> list[int]:
+        """Per-``le`` cumulative counts, Prometheus exposition order."""
+        with self._lock:
+            total = 0
+            out = []
+            for count in self._counts:
+                total += count
+                out.append(total)
+            return out
+
+    @property
+    def raw_counts(self) -> list[int]:
+        """Non-cumulative per-bucket counts (what snapshots store: they
+        merge by plain addition, cumulative counts would double-count)."""
+        with self._lock:
+            return list(self._counts)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+
+_KIND_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+@dataclass
+class _Family:
+    name: str
+    kind: str
+    help: str
+    labelnames: tuple[str, ...]
+    buckets: tuple[float, ...] | None
+    lock: threading.RLock
+    children: dict[tuple[str, ...], _Child] = field(default_factory=dict)
+
+    def labels(self, **labelvalues: str) -> _Child:
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self.lock:
+            child = self.children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(self.lock, self.buckets)
+                else:
+                    child = _KIND_CLASSES[self.kind](self.lock)
+                self.children[key] = child
+            return child
+
+
+class MetricsRegistry:
+    """Thread-safe collection of metric families.
+
+    One registry exists per process (the module-level default, reachable
+    via :func:`get_registry`); tests may construct private instances.
+    Family getters are idempotent — asking for an existing name returns
+    the same family, asking with *different* metadata is an error.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name} already registered as {family.kind}"
+                        f"{family.labelnames}, cannot re-register as "
+                        f"{kind}{tuple(labelnames)}"
+                    )
+                return family
+            family = _Family(
+                name=name,
+                kind=kind,
+                help=help_text,
+                labelnames=tuple(labelnames),
+                buckets=tuple(buckets) if buckets is not None else None,
+                lock=self._lock,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()):
+        """Get or create a counter family; with no labels, returns the
+        single unlabeled child directly."""
+        family = self._family(name, "counter", help_text, tuple(labelnames))
+        return family if labelnames else family.labels()
+
+    def gauge(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()):
+        family = self._family(name, "gauge", help_text, tuple(labelnames))
+        return family if labelnames else family.labels()
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = LATENCY_BUCKETS_MS,
+    ):
+        family = self._family(
+            name, "histogram", help_text, tuple(labelnames), tuple(buckets)
+        )
+        return family if labelnames else family.labels()
+
+    def from_catalog(self, entry: dict):
+        """Get or create the family described by a :data:`CATALOG` entry."""
+        labelnames = tuple(entry["labels"])
+        if entry["type"] == "histogram":
+            return self.histogram(entry["name"], entry["help"], labelnames)
+        if entry["type"] == "gauge":
+            return self.gauge(entry["name"], entry["help"], labelnames)
+        return self.counter(entry["name"], entry["help"], labelnames)
+
+    def snapshot(self, worker: str | None = None) -> dict:
+        """JSON-friendly dump of every family and child.
+
+        Histogram bucket counts are stored *non-cumulative* so that
+        merging is element-wise addition; :func:`render_snapshot_text`
+        re-cumulates for the exposition format.
+        """
+        with self._lock:
+            metrics: dict[str, dict] = {}
+            for name in sorted(self._families):
+                family = self._families[name]
+                samples = []
+                for key in sorted(family.children):
+                    child = family.children[key]
+                    labels = dict(zip(family.labelnames, key))
+                    if family.kind == "histogram":
+                        samples.append(
+                            {
+                                "labels": labels,
+                                "counts": child.raw_counts,
+                                "sum": child.sum,
+                                "count": child.count,
+                            }
+                        )
+                    else:
+                        samples.append({"labels": labels, "value": child.value})
+                entry = {
+                    "type": family.kind,
+                    "help": family.help,
+                    "labelnames": list(family.labelnames),
+                    "samples": samples,
+                }
+                if family.kind == "histogram":
+                    entry["buckets"] = list(family.buckets)
+                metrics[name] = entry
+        return {
+            "version": SNAPSHOT_VERSION,
+            "worker": worker if worker is not None else snapshot_worker_id(),
+            "metrics": metrics,
+        }
+
+    def render_text(self) -> str:
+        """Prometheus text exposition format for the current state."""
+        return render_snapshot_text(self.snapshot())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families.clear()
+
+
+def render_snapshot_text(snapshot: dict) -> str:
+    """Render a snapshot dict (from :meth:`MetricsRegistry.snapshot` or
+    :func:`merge_snapshots`) in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot["metrics"]):
+        family = snapshot["metrics"][name]
+        kind = family["type"]
+        labelnames = tuple(family["labelnames"])
+        lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labelvalues = tuple(sample["labels"][ln] for ln in labelnames)
+            if kind == "histogram":
+                bounds = [*family["buckets"], float("inf")]
+                cumulative = 0
+                for bound, count in zip(bounds, sample["counts"]):
+                    cumulative += count
+                    le = _format_number(bound)
+                    labels = _render_labels(labelnames, labelvalues, (("le", le),))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _render_labels(labelnames, labelvalues)
+                lines.append(f"{name}_sum{labels} {_format_number(sample['sum'])}")
+                lines.append(f"{name}_count{labels} {sample['count']}")
+            else:
+                labels = _render_labels(labelnames, labelvalues)
+                lines.append(f"{name}{labels} {_format_number(sample['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-worker snapshots into one fleet view.
+
+    Counters and histograms sum; gauges take the max.  Both operations
+    are associative and commutative, so any merge order (including
+    incremental re-merges) yields the same fleet view.  Mixing
+    incompatible definitions of the same metric name (different type,
+    labels or buckets) is an error, not a silent coercion.
+    """
+    merged: dict[str, dict] = {}
+    workers: list[str] = []
+    for snap in snapshots:
+        worker = snap.get("worker", "")
+        if worker and worker not in workers:
+            workers.append(worker)
+        for name, family in snap.get("metrics", {}).items():
+            target = merged.get(name)
+            if target is None:
+                target = {
+                    "type": family["type"],
+                    "help": family["help"],
+                    "labelnames": list(family["labelnames"]),
+                    "samples": [],
+                }
+                if family["type"] == "histogram":
+                    target["buckets"] = list(family["buckets"])
+                merged[name] = target
+            else:
+                if target["type"] != family["type"] or target["labelnames"] != list(
+                    family["labelnames"]
+                ):
+                    raise ValueError(
+                        f"cannot merge metric {name}: conflicting definitions "
+                        f"({target['type']}{tuple(target['labelnames'])} vs "
+                        f"{family['type']}{tuple(family['labelnames'])})"
+                    )
+                if family["type"] == "histogram" and target["buckets"] != list(
+                    family["buckets"]
+                ):
+                    raise ValueError(
+                        f"cannot merge histogram {name}: bucket boundaries differ"
+                    )
+            by_labels = {
+                tuple(sorted(sample["labels"].items())): sample
+                for sample in target["samples"]
+            }
+            for sample in family["samples"]:
+                key = tuple(sorted(sample["labels"].items()))
+                existing = by_labels.get(key)
+                if existing is None:
+                    if family["type"] == "histogram":
+                        copy = {
+                            "labels": dict(sample["labels"]),
+                            "counts": list(sample["counts"]),
+                            "sum": sample["sum"],
+                            "count": sample["count"],
+                        }
+                    else:
+                        copy = {
+                            "labels": dict(sample["labels"]),
+                            "value": sample["value"],
+                        }
+                    target["samples"].append(copy)
+                    by_labels[key] = copy
+                elif family["type"] == "histogram":
+                    existing["counts"] = [
+                        a + b for a, b in zip(existing["counts"], sample["counts"])
+                    ]
+                    existing["sum"] += sample["sum"]
+                    existing["count"] += sample["count"]
+                elif family["type"] == "gauge":
+                    existing["value"] = max(existing["value"], sample["value"])
+                else:
+                    existing["value"] += sample["value"]
+    for family in merged.values():
+        family["samples"].sort(key=lambda s: tuple(sorted(s["labels"].items())))
+    return {
+        "version": SNAPSHOT_VERSION,
+        "worker": ",".join(workers),
+        "metrics": dict(sorted(merged.items())),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Module-level default registry and the engine's recording helpers.
+# ---------------------------------------------------------------------------
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+_METRICS_DIR: str | None = None
+
+_WORKER_ENV = "REPRO_QUEUE_WORKER"  # mirrors repro.engine.queue (no import: cycle)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry the engine records into."""
+    return _DEFAULT_REGISTRY
+
+
+def configure_metrics(directory: str | os.PathLike) -> None:
+    """Enable metrics collection, flushing snapshots into ``directory``.
+
+    Creates the directory eagerly so a bad ``--metrics-dir`` fails at
+    startup, not after a long run.  Idempotent; call
+    :func:`reset_metrics` to disable again (tests do).
+    """
+    global _METRICS_DIR
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    _METRICS_DIR = directory
+
+
+def metrics_enabled() -> bool:
+    return _METRICS_DIR is not None
+
+
+def metrics_dir() -> str | None:
+    return _METRICS_DIR
+
+
+def reset_metrics(keep_dir: bool = False) -> None:
+    """Clear all recorded values; optionally keep the configured
+    directory.  ``keep_dir=True`` is how forked pool workers drop the
+    counts inherited from the parent (flushing them again would
+    double-count on merge) while staying configured to flush their own."""
+    global _METRICS_DIR
+    _DEFAULT_REGISTRY.reset()
+    if not keep_dir:
+        _METRICS_DIR = None
+
+
+def snapshot_worker_id() -> str:
+    """Stable-ish identity for this process's snapshot files.
+
+    The queue's ``REPRO_QUEUE_WORKER`` pin wins when set (fleet metrics
+    then line up with the event streams); otherwise ``hostname-pid``.
+    Computed at call time, never cached: a forked pool worker must not
+    inherit its parent's id.
+    """
+    pinned = os.environ.get(_WORKER_ENV, "").strip()
+    if pinned:
+        raw = pinned
+    else:
+        raw = f"{socket.gethostname()}-{os.getpid()}"
+    return "".join(c if (c.isalnum() or c in "-_.") else "-" for c in raw) or "worker"
+
+
+def flush_metrics() -> str | None:
+    """Atomically write this process's snapshot pair into the metrics dir.
+
+    Writes ``metrics_<worker>.prom`` (Prometheus text) and a
+    ``metrics_<worker>.json`` twin (the merge input), both via
+    temp-file-plus-:func:`os.replace` so a concurrently running
+    ``cache metrics`` never reads a half-written file.  Returns the
+    ``.prom`` path, or ``None`` when metrics are disabled.  Safe to call
+    repeatedly — each flush replaces the previous snapshot wholesale.
+    """
+    directory = _METRICS_DIR
+    if directory is None:
+        return None
+    worker = snapshot_worker_id()
+    snap = _DEFAULT_REGISTRY.snapshot(worker=worker)
+    text = render_snapshot_text(snap)
+    prom_path = os.path.join(directory, f"metrics_{worker}.prom")
+    json_path = os.path.join(directory, f"metrics_{worker}.json")
+    for path, payload in ((json_path, json.dumps(snap, indent=2) + "\n"), (prom_path, text)):
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            # Telemetry must never abort the computation (full disk,
+            # directory deleted mid-run): drop the snapshot silently.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return None
+    return prom_path
+
+
+def load_snapshot(path: str | os.PathLike) -> dict:
+    """Read one ``metrics_*.json`` snapshot file."""
+    with open(path, encoding="utf-8") as handle:
+        snap = json.load(handle)
+    if not isinstance(snap, dict) or "metrics" not in snap:
+        raise ValueError(f"{os.fspath(path)} is not a metrics snapshot")
+    return snap
+
+
+def read_metrics_dir(directory: str | os.PathLike) -> list[dict]:
+    """Load every per-worker JSON snapshot under ``directory`` (sorted by
+    filename, so the merge is reproducible)."""
+    directory = os.fspath(directory)
+    snapshots = []
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("metrics_") and name.endswith(".json"):
+            snapshots.append(load_snapshot(os.path.join(directory, name)))
+    return snapshots
+
+
+def _catalog_entry(name: str) -> dict:
+    for entry in CATALOG:
+        if entry["name"] == name:
+            return entry
+    raise KeyError(name)
+
+
+def _job_kind(result) -> str:
+    if getattr(result, "stack_size", 1) > 1:
+        return "stacked"
+    return "sweep" if type(result).__name__ == "SweepResult" else "cell"
+
+
+def record_task(result, cached: bool) -> None:
+    """Count one completed task and fold its ``phase_seconds`` telemetry
+    into the latency histograms.  Cached tasks count toward
+    ``repro_tasks_total`` only — their phases were not re-run."""
+    if _METRICS_DIR is None:
+        return
+    job = _job_kind(result)
+    status = "cached" if cached else "computed"
+    registry = _DEFAULT_REGISTRY
+    registry.from_catalog(_catalog_entry("repro_tasks_total")).labels(
+        job=job, status=status
+    ).inc()
+    if cached:
+        return
+    phases = getattr(result, "phase_seconds", None) or {}
+    histogram = registry.from_catalog(_catalog_entry("repro_task_phase_duration_ms"))
+    for key, seconds in phases.items():
+        phase = key[:-2] if key.endswith("_s") else key
+        if not isinstance(seconds, (int, float)):
+            continue
+        histogram.labels(job=job, phase=phase).observe(float(seconds) * 1000.0)
+
+
+def record_cache(kind: str, op: str) -> None:
+    """One cache operation: ``kind`` in cell/sweep/weights, ``op`` in
+    hit/miss/put."""
+    if _METRICS_DIR is None:
+        return
+    _DEFAULT_REGISTRY.from_catalog(_catalog_entry("repro_cache_requests_total")).labels(
+        cache=kind, op=op
+    ).inc()
+
+
+def record_queue_event(event: str) -> None:
+    """One work-queue lifecycle event (claim/steal/commit/cached/
+    duplicate/failed) — recorded exactly where the JSONL event stream is
+    appended, so metrics and ``cache watch`` always agree."""
+    if _METRICS_DIR is None:
+        return
+    _DEFAULT_REGISTRY.from_catalog(_catalog_entry("repro_queue_events_total")).labels(
+        event=event
+    ).inc()
+
+
+def set_queue_depth(depth: int) -> None:
+    """Sample the number of not-yet-committed tasks in the queue."""
+    if _METRICS_DIR is None:
+        return
+    _DEFAULT_REGISTRY.from_catalog(_catalog_entry("repro_queue_depth")).set(depth)
+
+
+def record_search_rung() -> None:
+    if _METRICS_DIR is None:
+        return
+    _DEFAULT_REGISTRY.from_catalog(_catalog_entry("repro_search_rungs_total")).inc()
+
+
+def record_search_promotion(outcome: str, count: int = 1) -> None:
+    """``outcome`` in promoted/pruned; ``count`` cells at once."""
+    if _METRICS_DIR is None or count <= 0:
+        return
+    _DEFAULT_REGISTRY.from_catalog(
+        _catalog_entry("repro_search_promotions_total")
+    ).labels(outcome=outcome).inc(count)
+
+
+def record_search_warm_start(source: str) -> None:
+    """``source``: ``self`` (own lower-budget checkpoint, bitwise resume)
+    or ``neighbor`` (nearest compatible cell's archive)."""
+    if _METRICS_DIR is None:
+        return
+    _DEFAULT_REGISTRY.from_catalog(
+        _catalog_entry("repro_search_warm_starts_total")
+    ).labels(source=source).inc()

@@ -61,6 +61,12 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.engine.metrics import (
+    flush_metrics,
+    record_queue_event,
+    record_task,
+    set_queue_depth,
+)
 from repro.engine.scheduler import ScheduleStats
 from repro.engine.shard import record_durable_manifest
 from repro.errors import ReproError
@@ -284,7 +290,13 @@ class WorkQueue:
     # -- events ----------------------------------------------------------------
 
     def append_event(self, event: str, index: int | None = None, **extra) -> None:
-        """Append one JSONL line to this worker's event stream (best effort)."""
+        """Append one JSONL line to this worker's event stream (best effort).
+
+        Every event also bumps ``repro_queue_events_total`` — metrics and
+        the ``cache watch`` view always agree because they share this one
+        recording site.
+        """
+        record_queue_event(event)
         payload = {"event": event, "worker": self.worker, "time": self.clock()}
         if index is not None:
             payload["task"] = int(index)
@@ -697,6 +709,11 @@ def run_queued_tasks(
             committed.append(task.index)
             if cached:
                 cached_served += 1
+            # Queue mode bypasses run_tasks, so the task counter and
+            # phase histograms are recorded here, on the exactly-once
+            # commit (duplicate completions show up only in
+            # repro_queue_events_total{event="duplicate"}).
+            record_task(result, cached=cached)
         if progress is not None:
             progress(task, result, cached)
 
@@ -716,6 +733,8 @@ def run_queued_tasks(
                     commit(task, result, cached=True)
         while True:
             state = queue.snapshot()
+            set_queue_depth(max(0, len(tasks) - len(state.done)))
+            flush_metrics()
             if len(state.done) >= len(tasks):
                 break
             claimable = [
@@ -772,6 +791,7 @@ def run_queued_tasks(
             manifest_path = record_durable_manifest(
                 cache_dir, cache, experiment, tasks, None
             )
+        flush_metrics()
     stats = ScheduleStats(
         jobs=1,
         total_cells=len(tasks),

@@ -41,6 +41,13 @@ from dataclasses import dataclass, field
 from importlib import import_module
 
 from repro.engine.job import ExplorationJobContext, run_cell_task
+from repro.engine.metrics import (
+    configure_metrics,
+    flush_metrics,
+    metrics_dir,
+    record_task,
+    reset_metrics,
+)
 from repro.engine.shard import ShardSpec
 from repro.utils.logging import get_logger
 
@@ -95,17 +102,31 @@ class ContextSpec:
         return builder(**self.kwargs)
 
 
-def _init_worker(context_or_spec, run_fn: Callable) -> None:
+def _init_worker(context_or_spec, run_fn: Callable, metrics_directory=None) -> None:
     global _WORKER_CONTEXT, _WORKER_RUN
     if isinstance(context_or_spec, ContextSpec):
         context_or_spec = context_or_spec.resolve()
     _WORKER_CONTEXT = context_or_spec
     _WORKER_RUN = run_fn
+    # Metrics: a forked worker inherits the parent's registry *counts*;
+    # flushing those again under the worker's own id would double-count
+    # on merge, so drop them while keeping (or, for spawn, installing)
+    # the snapshot directory.
+    if metrics_directory is None:
+        reset_metrics()
+    else:
+        configure_metrics(metrics_directory)
+        reset_metrics(keep_dir=True)
 
 
 def _run_in_worker(task) -> tuple[int, object]:
     assert _WORKER_RUN is not None, "worker pool initialized without a job function"
-    return task.index, _WORKER_RUN(_WORKER_CONTEXT, task)
+    result = task.index, _WORKER_RUN(_WORKER_CONTEXT, task)
+    # Worker-side counters (weight-cache hits inside the job function)
+    # are flushed per task, so a crashed worker still leaves its last
+    # consistent snapshot behind.
+    flush_metrics()
+    return result
 
 
 @dataclass
@@ -282,6 +303,7 @@ def run_tasks(
         if result is not None:
             results[task.index] = result
             cached += 1
+            record_task(result, cached=True)
             if progress is not None:
                 progress(task, result, True)
         else:
@@ -320,6 +342,7 @@ def run_tasks(
     def record(task, result) -> None:
         nonlocal cache_write_failed
         results[task.index] = result
+        record_task(result, cached=False)
         worker = getattr(result, "worker", "")
         if worker:
             computed_workers.add(worker)
@@ -358,7 +381,7 @@ def run_tasks(
             max_workers=effective_jobs,
             mp_context=mp_context,
             initializer=_init_worker,
-            initargs=(init_arg, run_fn),
+            initargs=(init_arg, run_fn, metrics_dir()),
         ) as pool:
             futures = [pool.submit(_run_in_worker, task) for task in pending]
             for future in as_completed(futures):
@@ -380,6 +403,7 @@ def run_tasks(
         start_method=method_used,
         shard="" if shard is None else str(shard),
     )
+    flush_metrics()
     return ordered, stats
 
 

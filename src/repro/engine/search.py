@@ -65,6 +65,12 @@ from repro.engine.cache import (
     training_fingerprint,
 )
 from repro.engine.costs import cached_cell_costs, order_cell_tasks
+from repro.engine.metrics import (
+    flush_metrics,
+    record_search_promotion,
+    record_search_rung,
+    record_search_warm_start,
+)
 from repro.engine.job import (
     CellTask,
     ExplorationJobContext,
@@ -868,10 +874,25 @@ def run_halving_search(
                 engine=stats.as_dict() if stats is not None else {},
             )
         )
+        record_search_rung()
+        record_search_promotion("promoted", len(survivors))
+        record_search_promotion("pruned", len(pruned))
+        for _, cell in pairs:
+            if cell.warm_start:
+                # distance 0.0 means the cell resumed its *own* lower-budget
+                # archive (a bitwise continuation); anything else came from
+                # the nearest-neighbour index.
+                source = (
+                    "self"
+                    if float(cell.warm_start.get("distance", 1.0)) == 0.0
+                    else "neighbor"
+                )
+                record_search_warm_start(source)
         sources.append((budget, weight_cache))
     train_total = sum(rung.train_seconds for rung in rungs)
     if bias_gate is not None:
         train_total += float(bias_gate.get("train_seconds", 0.0))
+    flush_metrics()
     return SearchResult(
         scheduler="halving",
         schedule=tuple(int(b) for b in search.schedule),

@@ -55,6 +55,7 @@ from repro.data.dataset import ArrayDataset, DataLoader
 from repro.engine.cache import archive_weights
 from repro.engine.costs import cached_cell_costs, order_cell_tasks
 from repro.engine.job import CellTask, ExplorationJobContext, run_cell_task
+from repro.engine.metrics import flush_metrics, record_task
 from repro.engine.scheduler import ProgressCallback, ScheduleStats, run_cell_tasks
 from repro.engine.shard import ShardSpec
 from repro.nn.module import Module
@@ -556,6 +557,7 @@ def run_stacked_cell_tasks(
         if result is not None:
             results[task.index] = result
             cached += 1
+            record_task(result, cached=True)
             if progress is not None:
                 progress(task, result, True)
         else:
@@ -570,6 +572,7 @@ def run_stacked_cell_tasks(
     def record(task: CellTask, result: CellResult) -> None:
         nonlocal cache_write_failed
         results[task.index] = result
+        record_task(result, cached=False)
         if result.worker:
             computed_workers.add(result.worker)
         if cache is not None and not cache_write_failed:
@@ -605,4 +608,5 @@ def run_stacked_cell_tasks(
         start_method="stacked",
         shard="" if shard is None else str(shard),
     )
+    flush_metrics()
     return ordered, stats

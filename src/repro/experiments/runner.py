@@ -48,6 +48,13 @@ from repro.engine.cache import (
     scan_cache_dir,
 )
 from repro.engine.merge import CacheMergeError, merge_cache_dirs, verify_cache_dir
+from repro.engine.metrics import (
+    configure_metrics,
+    flush_metrics,
+    merge_snapshots,
+    read_metrics_dir,
+    render_snapshot_text,
+)
 from repro.engine.queue import (
     DEFAULT_LEASE_TTL,
     QueueRunResult,
@@ -72,7 +79,16 @@ from repro.experiments.sweeps import ABLATION_FACTORS
 __all__ = ["build_parser", "main"]
 
 _START_METHODS = ("auto", "fork", "spawn")
-_CACHE_ACTIONS = ("stats", "inspect", "clear", "gc", "merge", "verify", "watch")
+_CACHE_ACTIONS = (
+    "stats",
+    "inspect",
+    "clear",
+    "gc",
+    "merge",
+    "verify",
+    "watch",
+    "metrics",
+)
 
 _DEFAULT_CACHE_DIR = Path(".repro_cache") / "cells"
 
@@ -202,6 +218,17 @@ def build_parser() -> argparse.ArgumentParser:
         f"task lease counts as abandoned and may be stolen (default: "
         f"{DEFAULT_LEASE_TTL:g})",
     )
+    engine.add_argument(
+        "--metrics-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write per-process metrics snapshots (Prometheus text + JSON "
+        "twin) into DIR: task/phase latency histograms, cache hit "
+        "counters, queue and search counters.  Purely observational — "
+        "results are byte-identical with or without it.  Merge a fleet's "
+        "snapshots with `cache metrics DIR`",
+    )
 
     epsilons = argparse.ArgumentParser(add_help=False)
     epsilons.add_argument(
@@ -304,14 +331,17 @@ def build_parser() -> argparse.ArgumentParser:
         "clear: delete entries; gc: delete by age and/or fingerprint; "
         "merge: union shard cache directories into --into; "
         "verify: check a directory's shard manifest for completeness; "
-        "watch: render a live fleet's merged queue progress",
+        "watch: render a live fleet's merged queue progress; "
+        "metrics: merge per-worker metrics snapshots into one fleet view",
     )
     cache.add_argument(
         "sources",
         nargs="*",
         type=Path,
         metavar="SRC",
-        help="merge only: shard cache directories to union",
+        help="merge: shard cache directories to union; "
+        "metrics: --metrics-dir directories holding metrics_*.json "
+        "snapshots to merge",
     )
     cache.add_argument(
         "--into",
@@ -343,7 +373,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--json",
         action="store_true",
-        help="stats/inspect: emit machine-readable JSON",
+        help="stats/inspect/merge/verify/watch/metrics: emit "
+        "machine-readable JSON",
     )
     cache.add_argument(
         "--queue",
@@ -678,6 +709,44 @@ def _run_cache_merge(args) -> int:
     return 0
 
 
+def _run_cache_metrics(args) -> int:
+    """``cache metrics DIR...``: merge per-worker snapshots into one view.
+
+    Reads every ``metrics_*.json`` under the given ``--metrics-dir``
+    directories and prints the merged fleet view — Prometheus text by
+    default, the snapshot JSON with ``--json``.  Exit 2 on usage errors,
+    1 when no snapshots exist (a run with ``--metrics-dir`` should have
+    left at least one) or the snapshots are incompatible.
+    """
+    if not args.sources:
+        print(
+            "cache metrics needs at least one DIR (the --metrics-dir a "
+            "run wrote its metrics_*.json snapshots into)",
+            file=sys.stderr,
+        )
+        return 2
+    snapshots = []
+    for directory in args.sources:
+        if not directory.is_dir():
+            print(f"cache metrics: {directory} is not a directory", file=sys.stderr)
+            return 2
+        snapshots.extend(read_metrics_dir(directory))
+    if not snapshots:
+        dirs = ", ".join(str(s) for s in args.sources)
+        print(f"no metrics snapshots (metrics_*.json) under {dirs}", file=sys.stderr)
+        return 1
+    try:
+        merged = merge_snapshots(snapshots)
+    except ValueError as error:
+        print(f"cache metrics: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+    else:
+        print(render_snapshot_text(merged), end="")
+    return 0
+
+
 def _run_cache_verify(args) -> int:
     ok, summaries = verify_cache_dir(args.cache_dir)
     if args.json:
@@ -826,12 +895,21 @@ def _run_cache(args) -> int:
             )
             return 2
         return _run_cache_watch(args)
-    if args.action != "merge" and (args.sources or args.into is not None):
+    if args.action not in ("merge", "metrics") and (
+        args.sources or args.into is not None
+    ):
         # A mistyped action with SRC/--into would otherwise be silently
-        # ignored — and the user clearly meant a merge.
+        # ignored — and the user clearly meant a merge (or metrics).
         print(
             f"cache {args.action} does not take SRC directories or --into; "
-            "use `cache merge SRC... --into DST` to federate caches",
+            "use `cache merge SRC... --into DST` to federate caches or "
+            "`cache metrics DIR` to merge metrics snapshots",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "metrics" and args.into is not None:
+        print(
+            "cache metrics does not take --into; it prints the merged view",
             file=sys.stderr,
         )
         return 2
@@ -845,7 +923,7 @@ def _run_cache(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.action in ("merge", "verify") and args.fingerprint is not None:
+    if args.action in ("merge", "verify", "metrics") and args.fingerprint is not None:
         # Merge always federates whole directories and verify always
         # checks every manifest; a silently ignored filter would let an
         # incomplete grid masquerade as verified.
@@ -857,6 +935,8 @@ def _run_cache(args) -> int:
         return 2
     if args.action == "merge":
         return _run_cache_merge(args)
+    if args.action == "metrics":
+        return _run_cache_metrics(args)
     if args.action == "verify":
         return _run_cache_verify(args)
     if args.action == "stats":
@@ -883,6 +963,16 @@ def _run_cache(args) -> int:
                 f"  phase totals over {timings['timed_entries']} "
                 f"timed entr{'y' if timings['timed_entries'] == 1 else 'ies'}: "
                 f"{totals}"
+            )
+        provenance = stats.get("provenance") or {}
+        if provenance.get("warm_started"):
+            by_kind = ", ".join(
+                f"{kind}: {count}"
+                for kind, count in provenance["warm_started_by_kind"].items()
+            )
+            print(
+                f"  warm-started entries: {provenance['warm_started']} "
+                f"({by_kind})"
             )
         return 0
     if args.action == "inspect":
@@ -985,6 +1075,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shard needs checkpoints to hand to the merge; drop --no-cache")
     if args.lease_ttl <= 0:
         parser.error("--lease-ttl must be > 0 seconds")
+    if args.metrics_dir is not None:
+        # Enable before any engine work so the scheduler, caches, queue
+        # and search all record; the directory is created eagerly so a
+        # bad path fails now, not after a long run.
+        try:
+            configure_metrics(args.metrics_dir)
+        except OSError as error:
+            parser.error(f"--metrics-dir {args.metrics_dir}: {error}")
     if args.queue is not None:
         if args.shard is not None:
             parser.error(
@@ -1173,6 +1271,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"[failed] {name}: {type(error).__name__}: {error}",
                 file=sys.stderr,
             )
+        finally:
+            # One snapshot per completed experiment, so a multi-step
+            # `all` run leaves current metrics even if a later step dies.
+            flush_metrics()
     if failed:
         print(
             f"{len(failed)}/{len(planned)} experiment(s) failed: "
