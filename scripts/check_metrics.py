@@ -6,12 +6,22 @@ merges them the same way ``cache metrics`` does, and asserts the
 fleet-health invariants:
 
 * **exactly-once** — ``repro_queue_events_total{event="commit"}`` plus
-  ``{event="cached"}`` equals ``--tasks`` (every task committed, none
-  twice: duplicates land in their own label, not here);
-* **no failures** — ``{event="failed"}`` is zero;
+  ``{event="cached"}`` plus ``{event="quarantine"}`` equals ``--tasks``
+  (every task resolved exactly once: duplicates land in their own
+  label, not here);
+* **no failures** — ``{event="failed"}`` is zero (worker-fatal cache
+  transport errors only; task crashes are ``retry``/``quarantine``);
+* **quarantine budget** — at most ``--max-quarantined`` tasks (default
+  0) ended ``{event="quarantine"}``: seeded chaos strikes first
+  attempts only, so the retry layer must absorb every injected fault;
 * **the kill was survived** — with ``--min-steals N``, at least N
   ``{event="steal"}`` events were recorded (the fault-injection run's
-  orphaned lease was actually stolen, not silently recomputed).
+  orphaned lease was actually stolen, not silently recomputed);
+* **the chaos was retried** — with ``--min-retries N``, at least N
+  ``{event="retry"}`` events were recorded;
+* **the retirement handed off** — with ``--min-handoffs N``, at least N
+  ``{event="handoff"}`` events were recorded (the SIGTERM'd worker
+  released its lease for immediate reclaim, not TTL expiry).
 
 Exits non-zero with one line per violated invariant.  See
 ``docs/observability.md`` for the counters' semantics.
@@ -55,6 +65,19 @@ def main(argv: list[str] | None = None) -> int:
         "--min-steals", type=int, default=0,
         help="minimum steal events (1 after a --kill-one fault injection)",
     )
+    parser.add_argument(
+        "--min-retries", type=int, default=0,
+        help="minimum retry events (>=1 after a chaos fault injection)",
+    )
+    parser.add_argument(
+        "--min-handoffs", type=int, default=0,
+        help="minimum handoff events (>=1 after a sigterm retirement)",
+    )
+    parser.add_argument(
+        "--max-quarantined", type=int, default=0,
+        help="maximum quarantine events (default: 0 — chaos-injected "
+        "transients must never exhaust the attempt budget)",
+    )
     args = parser.parse_args(argv)
 
     snapshots = []
@@ -79,20 +102,45 @@ def main(argv: list[str] | None = None) -> int:
     failed = counter_value(merged, "repro_queue_events_total", event="failed")
     steals = counter_value(merged, "repro_queue_events_total", event="steal")
     duplicates = counter_value(merged, "repro_queue_events_total", event="duplicate")
+    retries = counter_value(merged, "repro_queue_events_total", event="retry")
+    handoffs = counter_value(merged, "repro_queue_events_total", event="handoff")
+    quarantines = counter_value(
+        merged, "repro_queue_events_total", event="quarantine"
+    )
 
     errors = []
-    if commits + cached != args.tasks:
+    if commits + cached + quarantines != args.tasks:
         errors.append(
-            f"commit ({commits:g}) + cached ({cached:g}) events != "
-            f"expected task count ({args.tasks}) — the queue did not "
-            "commit every task exactly once"
+            f"commit ({commits:g}) + cached ({cached:g}) + quarantine "
+            f"({quarantines:g}) events != expected task count "
+            f"({args.tasks}) — the queue did not resolve every task "
+            "exactly once"
         )
     if failed != 0:
-        errors.append(f"{failed:g} failed event(s) — a worker's run_fn crashed")
+        errors.append(
+            f"{failed:g} failed event(s) — a worker died on its result "
+            "transport"
+        )
     if steals < args.min_steals:
         errors.append(
             f"only {steals:g} steal event(s), expected at least "
             f"{args.min_steals} — the orphaned lease was never stolen"
+        )
+    if retries < args.min_retries:
+        errors.append(
+            f"only {retries:g} retry event(s), expected at least "
+            f"{args.min_retries} — the injected faults were never retried"
+        )
+    if handoffs < args.min_handoffs:
+        errors.append(
+            f"only {handoffs:g} handoff event(s), expected at least "
+            f"{args.min_handoffs} — the retiring worker never handed off"
+        )
+    if quarantines > args.max_quarantined:
+        errors.append(
+            f"{quarantines:g} quarantine event(s), expected at most "
+            f"{args.max_quarantined} — the retry budget failed to absorb "
+            "a transient fault"
         )
     for error in errors:
         print(f"check_metrics: {error}", file=sys.stderr)
@@ -102,7 +150,8 @@ def main(argv: list[str] | None = None) -> int:
         f"metrics ok: {len(snapshots)} snapshot(s) "
         f"[{merged.get('worker', '')}] — {commits:g} commit(s), "
         f"{cached:g} cached, {steals:g} steal(s), "
-        f"{duplicates:g} duplicate(s), 0 failed"
+        f"{duplicates:g} duplicate(s), {retries:g} retried, "
+        f"{handoffs:g} handoff(s), {quarantines:g} quarantined, 0 failed"
     )
     return 0
 

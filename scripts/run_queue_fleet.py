@@ -2,17 +2,22 @@
 """Launch an elastic grid fleet against one queue directory — and hurt it.
 
 Spawns N ``python -m repro.experiments grid --queue DIR`` worker
-subprocesses sharing a queue and cache directory, optionally SIGKILLs
-the first worker as soon as it holds a lease (``--kill-one``), waits for
-the survivors, and exits non-zero unless the queue ends complete.  This
-is the CI ``grid-queue`` job's driver and the fault-injection tests'
-subprocess harness: a dynamic fleet must *demonstrably* survive a dead
-worker, not assume it.
+subprocesses sharing a queue and cache directory, optionally retires one
+worker mid-lease (``--retire-worker sigkill`` proves lease stealing,
+``--retire-worker sigterm`` proves graceful handoff), optionally salts
+every worker with seeded chaos (``--chaos-fail-rate``,
+``--chaos-corrupt-rate``) that the retry layer must absorb, waits for
+the survivors, and exits non-zero unless the queue ends complete with
+zero quarantined tasks.  This is the CI ``grid-queue`` job's driver and
+the fault-injection tests' subprocess harness: a dynamic fleet must
+*demonstrably* survive dead workers and transient faults, not assume it.
 
-Typical CI invocation::
+Typical CI invocations::
 
     python scripts/run_queue_fleet.py --profile micro --workers 3 \
         --kill-one --queue fleet-q --lease-ttl 2
+    python scripts/run_queue_fleet.py --profile micro --workers 3 \
+        --chaos-fail-rate 0.3 --retire-worker sigterm --queue chaos-q
 
 then render via ``grid --resume --cache-dir fleet-q/cache`` and compare
 against an unsharded reference with ``scripts/compare_results.py``.
@@ -22,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import subprocess
 import sys
 import time
@@ -30,7 +36,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def worker_env(worker_id: str) -> dict:
+def worker_env(worker_id: str, chaos: dict[str, str]) -> dict:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -38,10 +44,25 @@ def worker_env(worker_id: str) -> dict:
     )
     # Pin worker ids so event logs and assertions are deterministic.
     env["REPRO_QUEUE_WORKER"] = worker_id
+    # Chaos draws are seeded per (seed, task, attempt), not per worker,
+    # so every worker sees the same injected faults — the proof does not
+    # depend on which worker claims which cell.
+    env.update(chaos)
     return env
 
 
-def spawn_worker(args, worker_id: str) -> subprocess.Popen:
+def chaos_env(args) -> dict[str, str]:
+    env: dict[str, str] = {}
+    if args.chaos_fail_rate > 0:
+        env["REPRO_CHAOS_FAIL_RATE"] = str(args.chaos_fail_rate)
+    if args.chaos_corrupt_rate > 0:
+        env["REPRO_CHAOS_CORRUPT_RATE"] = str(args.chaos_corrupt_rate)
+    if env:
+        env["REPRO_CHAOS_SEED"] = str(args.chaos_seed)
+    return env
+
+
+def spawn_worker(args, worker_id: str, chaos: dict[str, str]) -> subprocess.Popen:
     command = [
         sys.executable, "-m", "repro.experiments", "grid",
         "--profile", args.profile,
@@ -55,22 +76,32 @@ def spawn_worker(args, worker_id: str) -> subprocess.Popen:
         command.append("--resume")
     if args.metrics_dir is not None:
         command += ["--metrics-dir", str(args.metrics_dir)]
+    if args.max_attempts is not None:
+        command += ["--max-attempts", str(args.max_attempts)]
     print(f"[fleet] starting {worker_id}: {' '.join(command)}")
     return subprocess.Popen(
         command,
-        env=worker_env(worker_id),
+        env=worker_env(worker_id, chaos),
         cwd=REPO_ROOT,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
     )
 
 
-def wait_for_lease(queue_dir: Path, timeout: float) -> tuple[Path, str] | None:
+def wait_for_lease(
+    queue_dir: Path, timeout: float, held_for: float = 0.0
+) -> tuple[Path, str] | None:
     """Block until a parseable lease appears; return it with its owner.
 
     The kill must target the worker that actually *holds* a lease —
     worker 0 may still be importing numpy while a faster sibling claims
     the first task, and SIGKILLing an idle worker would prove nothing.
+
+    ``held_for`` additionally requires the *same* claim (owner and
+    acquisition time) to survive that many seconds.  Chaos-failed first
+    attempts release their lease within milliseconds; a lease still held
+    after the grace period belongs to a worker genuinely inside its
+    phase, which is what graceful retirement needs to interrupt.
     """
     import json
 
@@ -78,11 +109,22 @@ def wait_for_lease(queue_dir: Path, timeout: float) -> tuple[Path, str] | None:
     while time.monotonic() < deadline:
         for path in sorted(queue_dir.glob("lease_*.json")):
             try:
-                owner = str(json.loads(path.read_text()).get("owner", ""))
+                payload = json.loads(path.read_text())
             except (OSError, ValueError):
                 continue  # claim in flight; come back on the next poll
-            if owner:
-                return path, owner
+            owner = str(payload.get("owner", ""))
+            if not owner:
+                continue
+            if held_for:
+                time.sleep(held_for)
+                try:
+                    check = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    continue  # released already: a transient claim
+                if (str(check.get("owner", "")) != owner
+                        or check.get("acquired") != payload.get("acquired")):
+                    continue
+            return path, owner
         time.sleep(0.02)
     return None
 
@@ -106,8 +148,37 @@ def main() -> int:
     parser.add_argument("--resume", action="store_true")
     parser.add_argument(
         "--kill-one", action="store_true",
-        help="SIGKILL the first worker as soon as it holds a lease — the "
-        "survivors must steal the orphaned task and finish the grid",
+        help="alias for --retire-worker sigkill (kept for older callers)",
+    )
+    parser.add_argument(
+        "--retire-worker", choices=("none", "sigkill", "sigterm"),
+        default=None,
+        help="hurt the worker that first holds a lease: sigkill proves "
+        "the survivors steal the orphaned task after TTL expiry; sigterm "
+        "proves graceful retirement — the victim must exit 0 after "
+        "writing a lease handoff that peers reclaim without waiting out "
+        "the TTL (default: none)",
+    )
+    parser.add_argument(
+        "--chaos-fail-rate", type=float, default=0.0,
+        help="probability each task's first attempt raises an injected "
+        "transient failure (seeded; the retry layer must absorb every "
+        "one without a quarantine)",
+    )
+    parser.add_argument(
+        "--chaos-corrupt-rate", type=float, default=0.0,
+        help="probability each task's first committed checkpoint is "
+        "truncated on disk (seeded; checksum verification must catch it "
+        "and convert it into a retry)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the chaos draws (default: 0)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="per-task attempt budget passed through to the workers "
+        "(default: the CLI default)",
     )
     parser.add_argument(
         "--stagger", type=float, default=0.0,
@@ -124,24 +195,34 @@ def main() -> int:
     args.cache_dir = args.cache_dir.resolve()
     if args.metrics_dir is not None:
         args.metrics_dir = args.metrics_dir.resolve()
-    if args.workers < 1 + int(args.kill_one):
-        parser.error("--kill-one needs at least two workers (one must survive)")
+    if args.retire_worker is None:
+        args.retire_worker = "sigkill" if args.kill_one else "none"
+    elif args.kill_one and args.retire_worker != "sigkill":
+        parser.error("--kill-one is --retire-worker sigkill; pick one spelling")
+    if args.retire_worker != "none" and args.workers < 2:
+        parser.error(
+            "--retire-worker needs at least two workers (one must survive)"
+        )
 
+    chaos = chaos_env(args)
     grid_queue = args.queue / "grid"
     workers: list[subprocess.Popen] = []
     worker_ids = [f"fleet-worker-{number}" for number in range(args.workers)]
     for number, worker_id in enumerate(worker_ids):
         if number and args.stagger:
             time.sleep(args.stagger)
-        workers.append(spawn_worker(args, worker_id))
+        workers.append(spawn_worker(args, worker_id, chaos))
 
     exit_code = 0
     victim_index: int | None = None
     try:
-        if args.kill_one:
-            found = wait_for_lease(grid_queue, timeout=args.timeout)
+        if args.retire_worker != "none":
+            held_for = 0.35 if args.retire_worker == "sigterm" else 0.0
+            found = wait_for_lease(
+                grid_queue, timeout=args.timeout, held_for=held_for
+            )
             if found is None:
-                print("[fleet] no lease ever appeared; nothing to kill",
+                print("[fleet] no lease ever appeared; nothing to retire",
                       file=sys.stderr)
                 exit_code = 1
             else:
@@ -150,15 +231,37 @@ def main() -> int:
                     worker_ids.index(owner) if owner in worker_ids else 0
                 )
                 victim = workers[victim_index]
-                print(f"[fleet] SIGKILL worker {victim_index} "
-                      f"(pid {victim.pid}) while it holds {lease.name}")
-                victim.kill()
-                victim.wait()
+                if args.retire_worker == "sigkill":
+                    print(f"[fleet] SIGKILL worker {victim_index} "
+                          f"(pid {victim.pid}) while it holds {lease.name}")
+                    victim.kill()
+                    victim.wait()
+                else:
+                    # The held_for grace above means the victim is inside
+                    # its training phase, so the drain handler fires
+                    # mid-task — the interesting case — not between claims.
+                    print(f"[fleet] SIGTERM worker {victim_index} "
+                          f"(pid {victim.pid}) while it holds {lease.name}")
+                    victim.send_signal(signal.SIGTERM)
+                    try:
+                        code = victim.wait(timeout=args.timeout)
+                    except subprocess.TimeoutExpired:
+                        print("[fleet] retiring worker never exited",
+                              file=sys.stderr)
+                        exit_code = 1
+                    else:
+                        print(f"[fleet] worker {victim_index} retired "
+                              f"gracefully, exited {code}")
+                        if code != 0:
+                            # Graceful retirement is part of the contract:
+                            # a SIGTERM'd worker hands off and exits clean.
+                            exit_code = 1
 
         deadline = time.monotonic() + args.timeout
         for number, worker in enumerate(workers):
             if number == victim_index:
-                continue  # the victim's exit code is meaningless
+                continue  # SIGKILL victim's code is meaningless; the
+                # SIGTERM victim was already waited on above
             remaining = max(0.0, deadline - time.monotonic())
             try:
                 code = worker.wait(timeout=remaining)
@@ -176,11 +279,24 @@ def main() -> int:
                 worker.wait()
 
     done = len(list(grid_queue.glob("done_*.json")))
+    quarantined = sorted(p.name for p in grid_queue.glob("quarantined_*.json"))
+    handoffs = len(list(grid_queue.glob("handoff_*.json")))
     leases = [p.name for p in grid_queue.glob("lease_*.json")]
-    print(f"[fleet] queue {grid_queue}: {done} task(s) committed"
+    print(f"[fleet] queue {grid_queue}: {done} task(s) committed, "
+          f"{len(quarantined)} quarantined, {handoffs} handoff(s)"
           + (f", leftover leases: {leases}" if leases else ""))
     if done == 0:
         print("[fleet] queue ended empty", file=sys.stderr)
+        exit_code = 1
+    if quarantined:
+        # The harness only ever injects faults the retry budget must
+        # absorb (transients strike first attempts only), so a surviving
+        # quarantine marker means the resilience layer failed its job.
+        print(f"[fleet] quarantined task(s): {quarantined}", file=sys.stderr)
+        exit_code = 1
+    if args.retire_worker == "sigterm" and handoffs == 0:
+        print("[fleet] sigterm retirement left no handoff record",
+              file=sys.stderr)
         exit_code = 1
     if exit_code == 0:
         print("[fleet] fleet complete; render with "

@@ -63,6 +63,7 @@ from repro.engine.job import (
     run_cell_task,
 )
 from repro.engine.metrics import (
+    ATTEMPT_BUCKETS,
     CATALOG,
     Counter,
     Gauge,
@@ -91,6 +92,16 @@ from repro.engine.queue import (
     queue_status,
     read_events,
     run_queued_tasks,
+)
+from repro.engine.resilience import (
+    QUARANTINE_EXIT_CODE,
+    AttemptLedger,
+    ChaosConfig,
+    ResilienceConfig,
+    RetryPolicy,
+    TaskTimeout,
+    Watchdog,
+    WorkerRetired,
 )
 from repro.engine.scheduler import (
     ContextSpec,
@@ -123,11 +134,14 @@ from repro.engine.sweep import (
 )
 
 __all__ = [
+    "ATTEMPT_BUCKETS",
+    "AttemptLedger",
     "CATALOG",
     "CacheEntry",
     "CacheMergeError",
     "CellCache",
     "CellTask",
+    "ChaosConfig",
     "ContextSpec",
     "Counter",
     "ExplorationJobContext",
@@ -135,8 +149,14 @@ __all__ = [
     "Histogram",
     "MergeReport",
     "MetricsRegistry",
+    "QUARANTINE_EXIT_CODE",
     "QueueError",
     "QueueRunResult",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "TaskTimeout",
+    "Watchdog",
+    "WorkerRetired",
     "RungReport",
     "ScheduleStats",
     "SearchConfig",

@@ -254,6 +254,37 @@ class _CheckpointCache:
         except (AttributeError, KeyError, TypeError, ValueError):
             return None
 
+    def verify(self, task) -> str | None:
+        """Prove the stored checkpoint decodes; its sha256 on success.
+
+        A pure integrity probe for the queue's post-write verification
+        (and fault injection that corrupts checkpoints behind the
+        writer's back): the bytes are re-read from disk, the payload
+        must parse, carry the current format version and decode into a
+        result.  Returns the hexdigest of the on-disk bytes — the same
+        checksum the commit markers and event logs record — or ``None``
+        when the entry is missing or corrupt.  Unlike :meth:`get`, no
+        hit/miss metrics are recorded, so verification does not skew
+        cache-traffic counters.
+        """
+        path = self.path_for(task)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            return None
+        try:
+            if self._decode(payload[self._value_key]) is None:
+                return None
+        except (AttributeError, KeyError, TypeError, ValueError):
+            return None
+        return hashlib.sha256(data).hexdigest()
+
     def put(self, task, value) -> Path:
         """Atomically checkpoint a completed task; returns its path."""
         self.directory.mkdir(parents=True, exist_ok=True)

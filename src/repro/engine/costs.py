@@ -30,8 +30,10 @@ __all__ = [
     "cached_cell_costs",
     "cached_sweep_costs",
     "cell_cost_estimator",
+    "cell_deadline_estimator",
     "order_cell_tasks",
     "order_sweep_tasks",
+    "sweep_deadline_estimator",
 ]
 
 
@@ -113,6 +115,56 @@ def cell_cost_estimator(costs: dict[tuple[float, int], float]):
         return rate * steps if rate is not None else float(steps)
 
     return estimate
+
+
+def cell_deadline_estimator(
+    costs: dict[tuple[float, int], float] | None,
+    *,
+    multiplier: float = 8.0,
+    floor: float = 600.0,
+):
+    """``task -> watchdog deadline seconds``, or ``None`` when disabled.
+
+    The hung-task watchdog prices a phase's abort deadline from the same
+    empirical cost model that orders the claims: ``multiplier ×`` the
+    predicted phase seconds, never below ``floor``.  A cold cache has no
+    *seconds* prediction (the ordering fallback is unitless ``T``), so
+    every cell is priced at the floor alone — generous beats shooting a
+    healthy first epoch.  ``multiplier <= 0`` disables the watchdog.
+    """
+    if multiplier <= 0:
+        return None
+    costs = costs or {}
+    estimate = cell_cost_estimator(costs) if costs else None
+
+    def deadline(task) -> float:
+        if estimate is None:
+            return float(floor)
+        return max(float(floor), float(multiplier) * float(estimate(task)))
+
+    return deadline
+
+
+def sweep_deadline_estimator(
+    costs: dict[str, float] | None,
+    *,
+    multiplier: float = 8.0,
+    floor: float = 600.0,
+):
+    """Sweep-variant sibling of :func:`cell_deadline_estimator`: measured
+    seconds for the variant's ``key`` scale by ``multiplier``, unmeasured
+    variants get the ``floor``; ``multiplier <= 0`` disables."""
+    if multiplier <= 0:
+        return None
+    costs = costs or {}
+
+    def deadline(task) -> float:
+        known = costs.get(task.key)
+        if known is None:
+            return float(floor)
+        return max(float(floor), float(multiplier) * float(known))
+
+    return deadline
 
 
 def order_cell_tasks(

@@ -42,6 +42,7 @@ import threading
 from dataclasses import dataclass, field
 
 __all__ = [
+    "ATTEMPT_BUCKETS",
     "CATALOG",
     "LATENCY_BUCKETS_MS",
     "Counter",
@@ -62,6 +63,7 @@ __all__ = [
     "record_search_rung",
     "record_search_warm_start",
     "record_task",
+    "record_task_attempts",
     "render_snapshot_text",
     "reset_metrics",
     "set_queue_depth",
@@ -91,6 +93,15 @@ LATENCY_BUCKETS_MS: tuple[float, ...] = (
 Fixed (not adaptive) so that histograms from different workers merge by
 plain element-wise addition; the range spans a micro-profile attack
 (~tens of ms) to a paper-profile training phase (~minutes).
+"""
+
+ATTEMPT_BUCKETS: tuple[float, ...] = (1.0, 2.0, 3.0, 5.0, 8.0)
+"""Buckets for the attempts-to-resolution histogram.
+
+A healthy fleet resolves everything in the first bucket (one attempt);
+anything beyond the default three-attempt budget only appears when the
+operator raised ``--max-attempts``.  Fixed for the same element-wise
+mergeability as :data:`LATENCY_BUCKETS_MS`.
 """
 
 CATALOG: tuple[dict, ...] = (
@@ -129,9 +140,21 @@ CATALOG: tuple[dict, ...] = (
         "type": "counter",
         "help": "Work-queue lifecycle events appended to the per-worker event streams.",
         "labels": {
-            "event": ("claim", "steal", "commit", "cached", "duplicate", "failed"),
+            "event": (
+                "claim", "steal", "commit", "cached", "duplicate", "failed",
+                "retry", "quarantine", "handoff", "timeout",
+                "cache_write_retry",
+            ),
         },
         "unit": "events",
+    },
+    {
+        "name": "repro_task_attempts",
+        "type": "histogram",
+        "help": "Attempts a queue task needed before it resolved — committed, or quarantined with its budget spent.",
+        "labels": {"outcome": ("committed", "quarantined")},
+        "unit": "attempts",
+        "buckets": ATTEMPT_BUCKETS,
     },
     {
         "name": "repro_queue_depth",
@@ -415,7 +438,10 @@ class MetricsRegistry:
         """Get or create the family described by a :data:`CATALOG` entry."""
         labelnames = tuple(entry["labels"])
         if entry["type"] == "histogram":
-            return self.histogram(entry["name"], entry["help"], labelnames)
+            buckets = tuple(entry.get("buckets") or LATENCY_BUCKETS_MS)
+            return self.histogram(
+                entry["name"], entry["help"], labelnames, buckets=buckets
+            )
         if entry["type"] == "gauge":
             return self.gauge(entry["name"], entry["help"], labelnames)
         return self.counter(entry["name"], entry["help"], labelnames)
@@ -748,13 +774,30 @@ def record_cache(kind: str, op: str) -> None:
 
 def record_queue_event(event: str) -> None:
     """One work-queue lifecycle event (claim/steal/commit/cached/
-    duplicate/failed) — recorded exactly where the JSONL event stream is
-    appended, so metrics and ``cache watch`` always agree."""
+    duplicate/failed/retry/quarantine/handoff/timeout/cache_write_retry)
+    — recorded exactly where the JSONL event stream is appended, so
+    metrics and ``cache watch`` always agree."""
     if _METRICS_DIR is None:
         return
     _DEFAULT_REGISTRY.from_catalog(_catalog_entry("repro_queue_events_total")).labels(
         event=event
     ).inc()
+
+
+def record_task_attempts(outcome: str, attempts: int) -> None:
+    """Observe how many attempts a task needed to resolve.
+
+    ``outcome`` is ``committed`` (recorded by the worker whose commit
+    marker won, with the attempt number that succeeded) or
+    ``quarantined`` (recorded once, by the worker that created the
+    quarantine marker, with the budget-exhausting attempt count).
+    Cache-served replays are not observed — they spent no attempt.
+    """
+    if _METRICS_DIR is None:
+        return
+    _DEFAULT_REGISTRY.from_catalog(_catalog_entry("repro_task_attempts")).labels(
+        outcome=outcome
+    ).observe(float(attempts))
 
 
 def set_queue_depth(depth: int) -> None:

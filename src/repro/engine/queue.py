@@ -43,6 +43,17 @@ per-phase wall-clock timings.  :func:`merge_event_logs` /
 :func:`read_events` skips a truncated final line with a warning instead
 of raising.
 
+Detection alone is not recovery: :mod:`repro.engine.resilience`
+supplies the supervision layer on top of this protocol — failed
+attempts are recorded (``attempt_<i>_<n>.json``) and retried with
+deterministic backoff, tasks that exhaust their attempt budget are
+**quarantined** (``quarantined_<i>.json``, the rest of the grid still
+completes), SIGTERM/SIGINT drains the worker gracefully with a
+``handoff_<i>.json`` tombstone so peers reclaim the lease without
+waiting out the TTL, and a watchdog aborts phases that blow their
+cost-model-priced deadline.  A fully-healthy run takes none of those
+paths and stays byte-identical to an unsupervised one.
+
 See ``docs/sharding.md`` for the operational walkthrough and
 ``tests/test_fleet_faults.py`` for the fault-injection proof (a worker
 SIGKILLed mid-lease; survivors steal and finish; results byte-identical
@@ -57,6 +68,7 @@ import os
 import socket
 import threading
 import time
+import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -65,7 +77,23 @@ from repro.engine.metrics import (
     flush_metrics,
     record_queue_event,
     record_task,
+    record_task_attempts,
     set_queue_depth,
+)
+from repro.engine.resilience import (
+    AttemptLedger,
+    ChaosConfig,
+    DrainGuard,
+    ResilienceConfig,
+    TaskTimeout,
+    Watchdog,
+    WorkerRetired,
+    attempt_records,
+    handoff_records,
+    quarantined_indices,
+    read_json as _read_json,
+    replace_json as _replace_json,
+    write_json_exclusive as _write_json_exclusive,
 )
 from repro.engine.scheduler import ScheduleStats
 from repro.engine.shard import record_durable_manifest
@@ -111,41 +139,6 @@ def default_worker_id() -> str:
     if override:
         return _sanitize(override)
     return _sanitize(f"{socket.gethostname()}-{os.getpid()}")
-
-
-def _write_json_exclusive(path: Path, payload: dict) -> bool:
-    """Atomically create ``path`` with ``payload`` iff it does not exist.
-
-    The portable full-content ``O_CREAT|O_EXCL``: the payload is written
-    to a private temp file first and *linked* into place, so a reader
-    can never observe a partially written claim.  Returns ``False`` when
-    the path already exists (someone else won the race).
-    """
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True))
-    try:
-        os.link(tmp, path)
-    except FileExistsError:
-        return False
-    finally:
-        tmp.unlink(missing_ok=True)
-    return True
-
-
-def _replace_json(path: Path, payload: dict) -> None:
-    """Atomic full rewrite (same temp + ``os.replace`` recipe as caches)."""
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True))
-    os.replace(tmp, path)
-
-
-def _read_json(path: Path) -> dict | None:
-    """Parse a protocol file; ``None`` when missing or unreadable."""
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None
-    return payload if isinstance(payload, dict) else None
 
 
 def read_events(path: str | Path) -> list[dict]:
@@ -238,6 +231,10 @@ class WorkQueue:
         self.lease_ttl = float(lease_ttl)
         self.worker = _sanitize(worker) if worker else default_worker_id()
         self.clock = clock
+        # When this worker first observed a torn (unparseable) lease per
+        # task — caps the synthetic heartbeat below so a torn lease can
+        # never stall the queue longer than one TTL of observation.
+        self._torn_first_seen: dict[int, float] = {}
         self.directory.mkdir(parents=True, exist_ok=True)
         self._join()
 
@@ -314,20 +311,26 @@ class WorkQueue:
 
         An unparseable lease (a claimer died inside the claim itself, or
         the file is mid-``os.replace`` on a non-atomic filesystem) still
-        *blocks* the task, with the file's mtime standing in for the
-        heartbeat — so it expires like any abandoned lease instead of
-        wedging the queue or being stolen while its writer is alive.
+        *blocks* the task — but only for one TTL: the synthetic
+        heartbeat is the *older* of the file's mtime and the moment this
+        worker first observed the torn file, so even a skewed mtime (a
+        writer's clock running ahead) expires the lease one TTL after
+        first sight and it is tombstoned through the normal steal path,
+        exactly like a dead worker's.
         """
         path = self.lease_path(index)
         payload = _read_json(path)
         if payload is not None:
+            self._torn_first_seen.pop(int(index), None)
             return payload
         try:
             mtime = path.stat().st_mtime
         except OSError:
+            self._torn_first_seen.pop(int(index), None)
             return None
-        return {"task_index": int(index), "owner": "", "heartbeat": mtime,
-                "ttl": self.lease_ttl}
+        first_seen = self._torn_first_seen.setdefault(int(index), self.clock())
+        return {"task_index": int(index), "owner": "",
+                "heartbeat": min(mtime, first_seen), "ttl": self.lease_ttl}
 
     def lease_expired(self, lease: dict) -> bool:
         """Whether a lease payload's heartbeat is older than its TTL."""
@@ -353,8 +356,27 @@ class WorkQueue:
             return False
         return _write_json_exclusive(self.lease_path(index), self._lease_payload(index))
 
+    def handed_off(self, index: int, lease: dict) -> bool:
+        """Whether ``lease`` was gracefully released by a retired worker.
+
+        A retiring worker writes a ``handoff_<i>.json`` tombstone before
+        releasing its lease; if the release itself failed (or a reader
+        races it), peers must treat the lease as expired *immediately*
+        instead of waiting out the TTL.  Matching is by owner and
+        acquire time so a later re-claim by the same worker id is not
+        shot down by a stale tombstone.
+        """
+        payload = _read_json(self.directory / f"handoff_{int(index)}.json")
+        if payload is None:
+            return False
+        return (
+            str(payload.get("worker", "")) == str(lease.get("owner", ""))
+            and float(payload.get("time", 0.0)) >= float(lease.get("acquired", 0.0))
+        )
+
     def steal(self, index: int) -> bool:
-        """Take over an *expired* lease; ``True`` iff this worker now holds it.
+        """Take over an *expired or handed-off* lease; ``True`` iff this
+        worker now holds it.
 
         Exactly-one-stealer: the expired lease is renamed to a private
         tombstone first (one renamer succeeds; the losers see
@@ -363,7 +385,9 @@ class WorkQueue:
         claimer, and that is fine.
         """
         lease = self.read_lease(index)
-        if lease is None or not self.lease_expired(lease):
+        if lease is None:
+            return False
+        if not self.lease_expired(lease) and not self.handed_off(index, lease):
             return False
         tombstone = self.directory / f".lease_{int(index)}.stolen.{self.worker}.{os.getpid()}"
         try:
@@ -390,7 +414,8 @@ class WorkQueue:
                 self.append_event("claim", index)
                 return True, False
             return False, False
-        if self.lease_expired(lease) and self.steal(index):
+        if (self.lease_expired(lease) or self.handed_off(index, lease)) \
+                and self.steal(index):
             return True, True
         return False, False
 
@@ -490,10 +515,20 @@ class WorkQueue:
             (expired if self.lease_expired(lease) else active)[index] = lease
         return QueueSnapshot(done=frozenset(done), active=active, expired=expired)
 
+    def quarantined_indices(self) -> set[int]:
+        """Task indices carrying a quarantine marker (attempt budget spent)."""
+        return quarantined_indices(self.directory)
+
     @property
     def complete(self) -> bool:
-        """Whether every task in the declared list has a commit marker."""
-        return len(self.done_indices()) >= self.task_count
+        """Whether every declared task is *resolved*: committed, or
+        quarantined after exhausting its attempt budget (the fleet is
+        done with it either way — a quarantined cell will never commit,
+        and waiting on it would hang every worker forever)."""
+        done = self.done_indices()
+        if len(done) >= self.task_count:
+            return True
+        return len(done | self.quarantined_indices()) >= self.task_count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -567,6 +602,14 @@ class QueueRunResult:
     events_path: str
     """This worker's JSONL event stream."""
 
+    quarantined: tuple[int, ...] = ()
+    """Task ids quarantined fleet-wide when this worker left: they
+    exhausted their attempt budget and will never commit.  Non-empty
+    means the run must exit with the quarantine code, not success."""
+
+    handoffs: int = 0
+    """Leases this worker handed off while retiring gracefully."""
+
     metadata: dict = field(default_factory=dict)
     """Engine accounting, same shape as the full-run results carry."""
 
@@ -586,6 +629,18 @@ class QueueRunResult:
         ]
         if self.manifest_path:
             lines.append(f"manifest: {self.manifest_path}")
+        if self.handoffs:
+            lines.append(
+                f"retired gracefully on {self.metadata.get('retired', 'signal')}"
+                f" — {self.handoffs} lease(s) handed off for immediate reclaim"
+            )
+        if self.quarantined:
+            cells = ", ".join(str(i) for i in self.quarantined)
+            lines.append(
+                f"{len(self.quarantined)} task(s) QUARANTINED after exhausting "
+                f"retries: [{cells}] — inspect with `cache watch --queue DIR "
+                "--json` (attempt history travels in quarantined_<i>.json)"
+            )
         if self.complete:
             lines.append(
                 "queue complete — render figures via a --resume run against "
@@ -607,6 +662,8 @@ class QueueRunResult:
             "task_count": self.task_count,
             "committed": list(self.committed),
             "stolen": self.stolen,
+            "quarantined": list(self.quarantined),
+            "handoffs": self.handoffs,
             "manifest_path": self.manifest_path,
             "events_path": self.events_path,
             "metadata": dict(self.metadata),
@@ -618,6 +675,14 @@ def _checkpoint_digest(path: Path) -> str:
         return hashlib.sha256(path.read_bytes()).hexdigest()
     except OSError:
         return ""
+
+
+class _CorruptCheckpoint(Exception):
+    """A just-written checkpoint failed read-back verification."""
+
+    def __init__(self, index: int) -> None:
+        super().__init__(f"checkpoint for task {index} failed verification")
+        self.index = int(index)
 
 
 def run_queued_tasks(
@@ -636,6 +701,8 @@ def run_queued_tasks(
     worker: str | None = None,
     stack: int = 1,
     poll_interval: float | None = None,
+    resilience: ResilienceConfig | None = None,
+    task_deadline: Callable | None = None,
 ) -> tuple[QueueRunResult, ScheduleStats]:
     """Serve a task list as one worker of a dynamic fleet.
 
@@ -644,19 +711,37 @@ def run_queued_tasks(
     a pre-partitioned slice, the worker repeatedly scans the queue
     directory, claims (or steals) the most expensive claimable task, runs
     it, and commits the checkpoint plus an event-log line.  It returns
-    when every task in the list has a commit marker, however many other
-    workers contributed.
+    when every task in the list is *resolved* — committed, or quarantined
+    after exhausting its attempt budget — however many other workers
+    contributed.
 
     ``cache`` is mandatory: in queue mode the checkpoint directory *is*
     the result transport between workers, so a failed cache write is a
-    hard :class:`QueueError`, not the soft warning of the local
-    scheduler.  ``pending_order`` prices the claim order (the runners
-    pass the cost model's longest-first ordering); ``stack > 1`` claims
-    up to that many cells per round and folds compatible ones through
+    hard :class:`QueueError` (after one bounded retry), not the soft
+    warning of the local scheduler; every computed checkpoint is also
+    re-read and decode-verified before its commit marker is created, so
+    a corrupt write becomes a retry instead of a poisoned merge.
+    ``pending_order`` prices the claim order (the runners pass the cost
+    model's longest-first ordering); ``stack > 1`` claims up to that
+    many cells per round and folds compatible ones through
     :func:`~repro.engine.stacking.run_stacked_group`, bitwise identical
     per cell.  ``resume`` serves already-checkpointed tasks straight
     into commit markers, which makes a replay over a finished queue a
     no-op.
+
+    ``resilience`` bundles the supervision knobs (attempt budget,
+    backoff shape, watchdog pricing); ``task_deadline`` maps a task to
+    its watchdog deadline in seconds (the runners build it from the
+    cost model via :func:`repro.engine.costs.cell_deadline_estimator`) —
+    ``None`` leaves the watchdog off.  A failed attempt records an
+    ``attempt_<i>_<n>.json`` file, releases the lease and re-enqueues
+    the task behind a deterministic backoff; the attempt that exhausts
+    the budget writes ``quarantined_<i>.json`` instead and the rest of
+    the grid completes without the cell.  SIGTERM/SIGINT (main thread
+    only) drains the worker: the in-flight phase aborts with
+    :class:`~repro.engine.resilience.WorkerRetired`, its lease is handed
+    off via ``handoff_<i>.json`` for immediate reclaim, metrics are
+    flushed and the manifest certified on the way out.
     """
     if cache is None:
         raise ValueError(
@@ -681,26 +766,65 @@ def run_queued_tasks(
     poll = poll_interval if poll_interval is not None else min(
         max(lease_ttl / 4.0, 0.05), 0.5
     )
+    supervision = resilience if resilience is not None else ResilienceConfig()
+    policy = supervision.retry_policy()
+    ledger = AttemptLedger(queue.directory, clock=queue.clock)
+    chaos = ChaosConfig.from_env()
     committed: list[int] = []
     cached_served = 0
     stolen = 0
+    handoffs = 0
+    retired: str | None = None
 
-    def commit(task, result, *, cached: bool) -> None:
-        nonlocal cached_served
-        if not cached:
+    def put_checkpoint(task, result, attempt: int) -> str:
+        """Write the checkpoint durably: one bounded retry on a failed
+        write, then a read-back decode proof whose digest becomes the
+        commit marker's checksum (same bytes, same sha256 a healthy run
+        always recorded)."""
+        try:
+            cache.put(task, result)
+        except OSError as error:
+            # Satellite contract: a transient ENOSPC/EROFS blip gets one
+            # bounded retry before it is allowed to kill the worker.
+            queue.append_event(
+                "cache_write_retry", task.index,
+                error=f"{type(error).__name__}: {error}",
+            )
+            policy.sleep(min(1.0, policy.backoff_base))
             try:
                 cache.put(task, result)
-            except OSError as error:
+            except OSError as retry_error:
+                queue.append_event("failed", task.index,
+                                   error=f"{type(retry_error).__name__}")
                 raise QueueError(
-                    f"cannot checkpoint task {task.index} into {cache.directory}: "
-                    f"{error} — in queue mode the cache is the result transport, "
-                    "so this worker cannot contribute"
-                ) from error
+                    f"cannot checkpoint task {task.index} into "
+                    f"{cache.directory}: {retry_error} — in queue mode the "
+                    "cache is the result transport, so this worker cannot "
+                    "contribute"
+                ) from retry_error
+        path = cache.path_for(task)
+        chaos.maybe_corrupt(path, task.index, attempt)
+        verify = getattr(cache, "verify", None)
+        digest = verify(task) if verify is not None else (
+            _checkpoint_digest(path) or None
+        )
+        if digest is None:
+            # Torn or unreadable on disk: drop it and burn an attempt so
+            # the task retries instead of poisoning the merge.
+            path.unlink(missing_ok=True)
+            raise _CorruptCheckpoint(task.index)
+        return digest
+
+    def commit(task, result, *, cached: bool, attempt: int | None = None) -> None:
+        nonlocal cached_served
+        digest: str | None = None
+        if not cached:
+            digest = put_checkpoint(task, result, attempt or 1)
         path = cache.path_for(task)
         created = queue.commit(
             task.index,
             fingerprint=path.name,
-            checksum=_checkpoint_digest(path),
+            checksum=digest if digest is not None else _checkpoint_digest(path),
             elapsed=getattr(result, "elapsed_seconds", None),
             phase_seconds=getattr(result, "phase_seconds", None),
             cached=cached,
@@ -714,8 +838,111 @@ def run_queued_tasks(
             # commit (duplicate completions show up only in
             # repro_queue_events_total{event="duplicate"}).
             record_task(result, cached=cached)
+            if attempt is not None:
+                # Attempts-to-resolution histogram: computed commits
+                # only — a cache-served replay spent no attempt.
+                record_task_attempts("committed", attempt)
         if progress is not None:
             progress(task, result, cached)
+
+    def dispose_failure(task, attempt: int, kind: str, error: str,
+                        traceback_text: str = "") -> None:
+        """Route one failed attempt: durable record, then retry-with-
+        backoff or (budget spent) quarantine.  The lease is released by
+        the round's ``finally``, so another worker serves the retry."""
+        if kind == "timeout":
+            queue.append_event("timeout", task.index, attempt=attempt,
+                               error=error)
+        if attempt >= policy.max_attempts:
+            ledger.record_attempt(
+                task.index, worker=queue.worker, kind=kind, error=error,
+                traceback_text=traceback_text, not_before=None,
+            )
+            if ledger.quarantine(task.index, worker=queue.worker):
+                queue.append_event("quarantine", task.index, attempts=attempt,
+                                   error=error)
+                record_task_attempts("quarantined", attempt)
+                _logger.error(
+                    "task %d quarantined after %d attempt(s): %s",
+                    task.index, attempt, error,
+                )
+        else:
+            delay = policy.backoff_delay(task.index, attempt)
+            ledger.record_attempt(
+                task.index, worker=queue.worker, kind=kind, error=error,
+                traceback_text=traceback_text,
+                not_before=queue.clock() + delay,
+            )
+            queue.append_event("retry", task.index, attempt=attempt,
+                               error=error, backoff_s=round(delay, 3))
+
+    watchdog = Watchdog() if task_deadline is not None else None
+    if watchdog is not None:
+        watchdog.start()
+    drain = DrainGuard().install()
+
+    def execute(group_tasks: list, runner: Callable[[], list]) -> None:
+        """Run one claimed group under supervision.
+
+        Crashes, watchdog timeouts and corrupt checkpoints burn an
+        attempt and are routed through ``dispose_failure``;
+        :class:`WorkerRetired` and :class:`QueueError` propagate (the
+        round handler hands off / the worker dies, respectively).
+        """
+        attempt_by = {
+            task.index: ledger.attempt_count(task.index) + 1
+            for task in group_tasks
+        }
+        key = tuple(attempt_by)
+        deadline: float | None = None
+        if watchdog is not None:
+            budget = sum(
+                max(0.0, float(task_deadline(task) or 0.0))
+                for task in group_tasks
+            )
+            deadline = budget if budget > 0 else None
+        try:
+            for task in group_tasks:
+                chaos.maybe_fail(task.index, attempt_by[task.index])
+            if deadline is not None:
+                watchdog.arm(key, threading.get_ident(), deadline)
+            try:
+                with drain.task_region():
+                    results = runner()
+            finally:
+                if deadline is not None:
+                    watchdog.disarm(key)
+            for task, result in zip(group_tasks, results):
+                commit(task, result, cached=False,
+                       attempt=attempt_by[task.index])
+        except (WorkerRetired, QueueError):
+            raise
+        except TaskTimeout:
+            for task in group_tasks:
+                if queue.is_done(task.index):
+                    continue
+                dispose_failure(
+                    task, attempt_by[task.index], "timeout",
+                    f"phase exceeded its {deadline or 0.0:.1f}s watchdog "
+                    "deadline",
+                )
+        except _CorruptCheckpoint as corrupt:
+            # Only the corrupt task burns an attempt; group members
+            # committed before it stay committed, later ones recompute
+            # next round without an attempt record.
+            dispose_failure(
+                by_index[corrupt.index], attempt_by[corrupt.index], "corrupt",
+                "checkpoint failed read-back verification after write",
+            )
+        except Exception as error:
+            traceback_text = traceback.format_exc()
+            for task in group_tasks:
+                if queue.is_done(task.index):
+                    continue
+                dispose_failure(
+                    task, attempt_by[task.index], "failure",
+                    f"{type(error).__name__}: {error}", traceback_text,
+                )
 
     manifest_path: str | None = None
     heartbeat = _HeartbeatThread(queue)
@@ -733,13 +960,22 @@ def run_queued_tasks(
                     commit(task, result, cached=True)
         while True:
             state = queue.snapshot()
-            set_queue_depth(max(0, len(tasks) - len(state.done)))
+            resolved = set(state.done) | ledger.quarantined_indices()
+            pending = [task for task in tasks if task.index not in resolved]
+            set_queue_depth(len(pending))
             flush_metrics()
-            if len(state.done) >= len(tasks):
+            if not pending:
                 break
+            if drain.requested:
+                # Drain requested between tasks: leave without claiming
+                # more; peers finish the queue.
+                retired = drain.signal_name or "SIGTERM"
+                break
+            now = queue.clock()
             claimable = [
-                task for task in tasks
-                if task.index not in state.done and task.index not in state.active
+                task for task in pending
+                if task.index not in state.active
+                and ledger.ready(task.index, now)
             ]
             if pending_order is not None and claimable:
                 claimable = list(pending_order(claimable))
@@ -754,8 +990,8 @@ def run_queued_tasks(
                     stolen += int(was_steal)
             if not held:
                 # Nothing claimable right now: everything pending is
-                # actively leased elsewhere (or we lost every race).
-                # Wait for commits or expiries.
+                # actively leased elsewhere, backing off before a retry,
+                # or we lost every race.  Wait for commits or expiries.
                 time.sleep(poll)
                 continue
             try:
@@ -764,26 +1000,51 @@ def run_queued_tasks(
 
                     groups, singles = pack_stacks(context, held, stack)
                     for group_tasks, group_models in groups:
-                        results = run_stacked_group(context, group_tasks, group_models)
-                        for task, result in zip(group_tasks, results):
-                            commit(task, result, cached=False)
+                        execute(
+                            group_tasks,
+                            lambda gt=group_tasks, gm=group_models:
+                                run_stacked_group(context, gt, gm),
+                        )
                     for task in singles:
-                        commit(task, run_fn(context, task), cached=False)
+                        execute([task], lambda t=task: [run_fn(context, t)])
                 else:
                     for task in held:
-                        commit(task, run_fn(context, task), cached=False)
-            except Exception:
+                        execute([task], lambda t=task: [run_fn(context, t)])
+            except WorkerRetired:
+                # Graceful retirement: hand off every unfinished held
+                # lease so peers reclaim it immediately (no TTL wait),
+                # then leave through the normal shutdown path — flushed
+                # metrics, certified manifest and all.
+                signal_name = drain.signal_name or "SIGTERM"
                 for task in held:
-                    queue.append_event("failed", task.index)
-                raise
+                    if queue.is_done(task.index):
+                        continue
+                    ledger.record_handoff(
+                        task.index, worker=queue.worker,
+                        signal_name=signal_name,
+                    )
+                    queue.append_event("handoff", task.index,
+                                       signal=signal_name)
+                    handoffs += 1
+                retired = signal_name
+            except TaskTimeout:  # pragma: no cover - narrow disarm race
+                # A watchdog shot that landed after its phase finished
+                # and disarmed; the held tasks retry next round without
+                # burning an attempt.
+                _logger.warning("stray watchdog timeout after disarm; ignored")
             finally:
                 for task in held:
                     heartbeat.drop(task.index)
                     queue.release(task.index)
+            if retired is not None:
+                break
     finally:
         heartbeat.stop()
         for index in heartbeat.held():
             queue.release(index)
+        if watchdog is not None:
+            watchdog.stop()
+        drain.uninstall()
         if cache_dir is not None:
             # Certify whatever checkpoints are durable, exactly like the
             # static shard runners: the last worker out sees everything,
@@ -802,6 +1063,14 @@ def run_queued_tasks(
         start_method="queue",
         shard="",
     )
+    done_now = queue.done_indices()
+    quarantined_now = tuple(sorted(
+        index for index in ledger.quarantined_indices()
+        if index in by_index and index not in done_now
+    ))
+    metadata = {"engine": stats.as_dict(), "queue_complete": queue.complete}
+    if retired is not None:
+        metadata["retired"] = retired
     result = QueueRunResult(
         experiment=experiment,
         worker=queue.worker,
@@ -809,9 +1078,11 @@ def run_queued_tasks(
         task_count=len(tasks),
         committed=tuple(committed),
         stolen=stolen,
+        quarantined=quarantined_now,
+        handoffs=handoffs,
         manifest_path=manifest_path,
         events_path=str(queue.events_path),
-        metadata={"engine": stats.as_dict(), "queue_complete": queue.complete},
+        metadata=metadata,
     )
     return result, stats
 
@@ -820,9 +1091,13 @@ def queue_status(directory: str | Path, now: float | None = None) -> dict:
     """Merge a queue directory's protocol state into one coordinator view.
 
     The data behind ``cache watch``: the identity manifest, done count,
-    live and expired leases, and per-worker totals aggregated from every
+    live and expired leases, per-worker totals aggregated from every
     event stream (commits, steals, cache hits, duplicates, phase-second
-    sums).  Purely read-only — safe to run beside a live fleet.
+    sums), plus the resilience ledger — total retry attempts recorded,
+    handed-off leases, and the quarantined tasks with their attempt
+    counts and last error so a coordinator can alert instead of
+    reporting success.  Purely read-only — safe to run beside a live
+    fleet.
     """
     directory = Path(directory)
     now = time.time() if now is None else now
@@ -871,7 +1146,8 @@ def queue_status(directory: str | Path, now: float | None = None) -> dict:
         bucket = workers.setdefault(
             name,
             {"claims": 0, "steals": 0, "commits": 0, "cached": 0,
-             "duplicates": 0, "failed": 0, "elapsed_s": 0.0},
+             "duplicates": 0, "failed": 0, "retries": 0, "timeouts": 0,
+             "handoffs": 0, "quarantines": 0, "elapsed_s": 0.0},
         )
         kind = event.get("event")
         if kind == "claim":
@@ -890,8 +1166,30 @@ def queue_status(directory: str | Path, now: float | None = None) -> dict:
             bucket["duplicates"] += 1
         elif kind == "failed":
             bucket["failed"] += 1
+        elif kind == "retry":
+            bucket["retries"] += 1
+        elif kind == "timeout":
+            bucket["timeouts"] += 1
+        elif kind == "handoff":
+            bucket["handoffs"] += 1
+        elif kind == "quarantine":
+            bucket["quarantines"] += 1
     for bucket in workers.values():
         bucket["elapsed_s"] = round(bucket["elapsed_s"], 3)
+
+    # The resilience ledger: durable attempt/quarantine/handoff records
+    # beside the leases (authoritative even when event logs are lost).
+    attempts = attempt_records(directory)
+    quarantined = []
+    for index in sorted(quarantined_indices(directory) - done):
+        marker = _read_json(directory / f"quarantined_{index}.json") or {}
+        history = marker.get("attempts") or attempts.get(index, [])
+        quarantined.append({
+            "task": index,
+            "attempts": len(history),
+            "worker": str(marker.get("worker", "")),
+            "error": str(marker.get("error", "")),
+        })
 
     return {
         "directory": str(directory),
@@ -899,9 +1197,15 @@ def queue_status(directory: str | Path, now: float | None = None) -> dict:
         "fingerprint": None if identity is None else identity.get("fingerprint"),
         "task_count": task_count,
         "done": len(done),
-        "complete": bool(identity) and len(done) >= task_count,
+        "complete": (
+            bool(identity)
+            and len(done | {entry["task"] for entry in quarantined}) >= task_count
+        ),
         "active_leases": active,
         "expired_leases": expired,
+        "attempts": sum(len(history) for history in attempts.values()),
+        "quarantined": quarantined,
+        "handoffs": len(handoff_records(directory)),
         "workers": {name: workers[name] for name in sorted(workers)},
         "phase_totals": {k: round(v, 3) for k, v in sorted(phase_totals.items())},
         "events": len(events),

@@ -349,16 +349,25 @@ def run_tasks(
         if cache is not None and not cache_write_failed:
             # Checkpointing is a convenience; an unwritable cache directory
             # (read-only cwd, full disk) must not abort the computation.
-            # After the first failed write, stop attempting further ones.
+            # A transient blip (ENOSPC while something else frees space,
+            # a remounting filesystem) gets one bounded retry; after a
+            # second failure, stop attempting further writes.
             try:
                 cache.put(task, result)
-            except OSError as error:
-                cache_write_failed = True
+            except OSError as first_error:
                 _logger.warning(
-                    "checkpointing disabled for the rest of this run: "
-                    "cache write failed (%s)",
-                    error,
+                    "cache write failed (%s); retrying once", first_error
                 )
+                time.sleep(0.1)
+                try:
+                    cache.put(task, result)
+                except OSError as error:
+                    cache_write_failed = True
+                    _logger.warning(
+                        "checkpointing disabled for the rest of this run: "
+                        "cache write failed again (%s)",
+                        error,
+                    )
         if progress is not None:
             progress(task, result, False)
 

@@ -649,6 +649,16 @@ def _run_rung(
             pending_order=order,
             stack=stack,
         )
+        if _queue_result.quarantined:
+            # A promotion decision needs every candidate's score; a
+            # quarantined cell means the rung is unmeasurable, so fail
+            # loudly instead of silently pruning the poisoned cell.
+            raise ExplorationError(
+                f"queue rung quarantined task(s) "
+                f"{list(_queue_result.quarantined)} after exhausting their "
+                "attempt budget; the halving promotion cannot be decided "
+                "without every candidate"
+            )
         results = [cell_cache.get(task) for task in tasks]
         missing = [task.index for task, cell in zip(tasks, results) if cell is None]
         if missing:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.engine.queue import DEFAULT_LEASE_TTL, QueueRunResult
+from repro.engine.resilience import ResilienceConfig
 from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.engine.sweep import SweepResult, SweepTask
 from repro.experiments.profiles import ExperimentProfile, get_profile
@@ -146,6 +147,7 @@ def run_ablation_suite(
     shard: ShardSpec | None = None,
     queue_dir: str | Path | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    resilience: ResilienceConfig | None = None,
 ) -> dict[str, AblationResult] | ShardRunResult | QueueRunResult:
     """Run the requested ablation factors as one scheduled job batch.
 
@@ -191,6 +193,7 @@ def run_ablation_suite(
         shard=shard,
         queue_dir=queue_dir,
         lease_ttl=lease_ttl,
+        resilience=resilience,
     )
     if queue_dir is not None:
         return results  # the worker's QueueRunResult; no tables yet

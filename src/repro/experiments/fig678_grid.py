@@ -12,13 +12,18 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.engine import CellCache, context_fingerprint
-from repro.engine.costs import cached_cell_costs, order_cell_tasks
+from repro.engine.costs import (
+    cached_cell_costs,
+    cell_deadline_estimator,
+    order_cell_tasks,
+)
 from repro.engine.job import run_cell_task
 from repro.engine.queue import (
     DEFAULT_LEASE_TTL,
     QueueRunResult,
     run_queued_tasks,
 )
+from repro.engine.resilience import ResilienceConfig
 from repro.engine.scheduler import run_cell_tasks
 from repro.engine.search import (
     SearchConfig,
@@ -138,6 +143,7 @@ def _run_grid_queue(
     verbose: bool,
     resume: bool,
     stack: int,
+    resilience: ResilienceConfig | None = None,
 ) -> QueueRunResult:
     """One worker of a dynamic grid fleet: claim, compute, commit.
 
@@ -159,6 +165,7 @@ def _run_grid_queue(
             )
 
     costs = cached_cell_costs(cache.directory)
+    supervision = resilience if resilience is not None else ResilienceConfig()
     result, _stats = run_queued_tasks(
         context,
         tasks,
@@ -172,6 +179,12 @@ def _run_grid_queue(
         lease_ttl=lease_ttl,
         pending_order=lambda pending: order_cell_tasks(pending, costs),
         stack=stack,
+        resilience=supervision,
+        task_deadline=cell_deadline_estimator(
+            costs,
+            multiplier=supervision.watchdog_multiplier,
+            floor=supervision.watchdog_floor,
+        ),
     )
     result.metadata["profile"] = profile.name
     return result
@@ -188,6 +201,7 @@ def run_grid_exploration(
     stack: int = 1,
     queue_dir: str | Path | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    resilience: ResilienceConfig | None = None,
 ) -> ExplorationResult | ShardRunResult | QueueRunResult:
     """Run Algorithm 1 over the profile's grid (Figs. 6-8 in one pass).
 
@@ -239,6 +253,10 @@ def run_grid_exploration(
     lease_ttl:
         Queue mode only: seconds without a heartbeat after which another
         worker may steal a task lease from a presumed-dead owner.
+    resilience:
+        Queue mode only: supervision knobs (attempt budget before
+        quarantine, backoff shape, watchdog deadline pricing); defaults
+        to :class:`~repro.engine.resilience.ResilienceConfig`'s.
     """
     if resume and cache_dir is None:
         raise ValueError("resume=True requires cache_dir to resume from")
@@ -267,6 +285,7 @@ def run_grid_exploration(
         return _run_grid_queue(
             explorer, context, cache, cache_dir, Path(queue_dir) / "grid",
             lease_ttl, profile, verbose, resume, stack,
+            resilience=resilience,
         )
     spec = spawn_spec_for("build_grid_context", profile, cache_dir, resume)
     if shard is not None:

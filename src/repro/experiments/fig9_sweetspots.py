@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.engine.queue import DEFAULT_LEASE_TTL, QueueRunResult
+from repro.engine.resilience import ResilienceConfig
 from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.engine.sweep import SweepResult, SweepTask
 from repro.experiments.profiles import ExperimentProfile, get_profile
@@ -108,6 +109,7 @@ def run_fig9(
     shard: ShardSpec | None = None,
     queue_dir: str | Path | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    resilience: ResilienceConfig | None = None,
 ) -> Fig9Result | ShardRunResult | QueueRunResult:
     """Reproduce the Figure-9 sweet-spot tracking under ``profile``.
 
@@ -160,6 +162,7 @@ def run_fig9(
         shard=shard,
         queue_dir=queue_dir,
         lease_ttl=lease_ttl,
+        resilience=resilience,
     )
     if queue_dir is not None:
         return results  # the worker's QueueRunResult; no figure yet

@@ -61,6 +61,11 @@ from repro.engine.queue import (
     WorkQueue,
     queue_status,
 )
+from repro.engine.resilience import (
+    DEFAULT_MAX_ATTEMPTS,
+    QUARANTINE_EXIT_CODE,
+    ResilienceConfig,
+)
 from repro.engine.search import SearchConfig, derive_schedule, parse_budget_schedule
 from repro.engine.shard import ShardRunResult, ShardSpec
 from repro.experiments.ablations import run_ablation_suite
@@ -217,6 +222,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue mode only: seconds without a heartbeat after which a "
         f"task lease counts as abandoned and may be stolen (default: "
         f"{DEFAULT_LEASE_TTL:g})",
+    )
+    engine.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        metavar="N",
+        help="queue mode only: distinct failures a task may accumulate "
+        "(across the whole fleet) before it is quarantined and the rest "
+        "of the grid continues without it; quarantined runs exit with "
+        f"code {QUARANTINE_EXIT_CODE} (default: {DEFAULT_MAX_ATTEMPTS})",
+    )
+    engine.add_argument(
+        "--watchdog-mult",
+        type=float,
+        default=8.0,
+        metavar="K",
+        help="queue mode only: hung-task watchdog deadline as K x the "
+        "cost model's predicted task seconds; a timed-out phase is "
+        "aborted and retried like any failure.  0 disables the watchdog "
+        "(default: 8)",
+    )
+    engine.add_argument(
+        "--watchdog-floor",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="queue mode only: minimum watchdog deadline, and the flat "
+        "deadline when the cache is cold and no cost history exists "
+        "(default: 600)",
     )
     engine.add_argument(
         "--metrics-dir",
@@ -440,12 +474,14 @@ def _emit_shard_result(
 
 def _emit_queue_result(
     result: QueueRunResult, out_dir: Path | None, profile_name: str
-) -> None:
+) -> int:
     """Render and persist one queue worker's completion summary.
 
     Artifacts are suffixed with the worker id (``..._queue-host-123.json``)
     so a whole fleet can share an ``--out`` directory without clobbering
-    each other or the eventual full-figure artifact.
+    each other or the eventual full-figure artifact.  Returns the exit
+    code the run deserves: ``QUARANTINE_EXIT_CODE`` when any task
+    exhausted its attempt budget, 0 otherwise.
     """
     print(result.render())
     _print_engine_summary(result.metadata)
@@ -454,17 +490,19 @@ def _emit_queue_result(
         f"{result.experiment}_{profile_name}_queue-{result.worker}",
         result.as_dict(),
     )
+    return QUARANTINE_EXIT_CODE if result.quarantined else 0
 
 
-def _run_fig1(profile, out_dir: Path | None) -> None:
+def _run_fig1(profile, out_dir: Path | None) -> int:
     result = run_fig1(profile, verbose=True)
     print(result.render())
     _write_json(out_dir, f"fig1_{profile.name}", result.as_dict())
+    return 0
 
 
 def _run_fig1_queued(
     profile, out_dir: Path | None, queue_dir: Path, lease_ttl: float
-) -> None:
+) -> int:
     """fig1's slot in a queued ``all`` run: exactly one worker computes it.
 
     fig1 has no engine port (it is serial and uncached), so a fleet
@@ -484,12 +522,13 @@ def _run_fig1_queued(
     if not acquired:
         state = "already done" if queue.is_done(0) else "another worker has it"
         print(f"[queue] skipping fig1: {state}")
-        return
+        return 0
     try:
         _run_fig1(profile, out_dir)
         queue.commit(0, fingerprint=f"fig1_{profile.name}")
     finally:
         queue.release(0)
+    return 0
 
 
 def _run_grid(
@@ -503,7 +542,8 @@ def _run_grid(
     stack: int = 1,
     queue_dir: Path | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
-) -> None:
+    resilience: ResilienceConfig | None = None,
+) -> int:
     from repro.errors import ExplorationError
     from repro.robustness import select_sweet_spots
 
@@ -518,13 +558,13 @@ def _run_grid(
         stack=stack,
         queue_dir=queue_dir,
         lease_ttl=lease_ttl,
+        resilience=resilience,
     )
     if isinstance(result, QueueRunResult):
-        _emit_queue_result(result, out_dir, profile.name)
-        return
+        return _emit_queue_result(result, out_dir, profile.name)
     if isinstance(result, ShardRunResult):
         _emit_shard_result(result, out_dir, profile.name)
-        return
+        return 0
     print(fig6_table(result))
     print()
     print(fig7_table(result))
@@ -540,6 +580,7 @@ def _run_grid(
             print(f"  {pick.render()}")
     _print_engine_summary(result.metadata)
     _write_json(out_dir, f"grid_{profile.name}", result.to_json())
+    return 0
 
 
 def _run_grid_search(
@@ -553,7 +594,7 @@ def _run_grid_search(
     stack: int = 1,
     queue_dir: Path | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
-) -> None:
+) -> int:
     """``grid --search halving``: guided exploration instead of the sweep.
 
     Unlike the exhaustive queue mode, every fleet worker blocks per rung
@@ -582,6 +623,7 @@ def _run_grid_search(
     print()
     print(result.render())
     _write_json(out_dir, f"grid_search_{profile.name}", result.to_json())
+    return 0
 
 
 def _run_fig9(
@@ -595,7 +637,8 @@ def _run_fig9(
     shard: ShardSpec | None = None,
     queue_dir: Path | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
-) -> None:
+    resilience: ResilienceConfig | None = None,
+) -> int:
     result = run_fig9(
         profile,
         verbose=True,
@@ -607,16 +650,17 @@ def _run_fig9(
         shard=shard,
         queue_dir=queue_dir,
         lease_ttl=lease_ttl,
+        resilience=resilience,
     )
     if isinstance(result, QueueRunResult):
-        _emit_queue_result(result, out_dir, profile.name)
-        return
+        return _emit_queue_result(result, out_dir, profile.name)
     if isinstance(result, ShardRunResult):
         _emit_shard_result(result, out_dir, profile.name)
-        return
+        return 0
     print(result.render())
     _print_engine_summary(result.metadata)
     _write_json(out_dir, f"fig9_{profile.name}", result.as_dict())
+    return 0
 
 
 def _run_ablation(
@@ -631,7 +675,8 @@ def _run_ablation(
     shard: ShardSpec | None = None,
     queue_dir: Path | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
-) -> None:
+    resilience: ResilienceConfig | None = None,
+) -> int:
     suite = run_ablation_suite(
         profile,
         factors=factors,
@@ -644,13 +689,13 @@ def _run_ablation(
         shard=shard,
         queue_dir=queue_dir,
         lease_ttl=lease_ttl,
+        resilience=resilience,
     )
     if isinstance(suite, QueueRunResult):
-        _emit_queue_result(suite, out_dir, profile.name)
-        return
+        return _emit_queue_result(suite, out_dir, profile.name)
     if isinstance(suite, ShardRunResult):
         _emit_shard_result(suite, out_dir, profile.name)
-        return
+        return 0
     for factor in factors:
         result = suite[factor]
         print(result.render())
@@ -660,6 +705,7 @@ def _run_ablation(
         )
     first = suite[factors[0]]
     _print_engine_summary(first.metadata)
+    return 0
 
 
 def _format_size(size: int) -> str:
@@ -791,6 +837,9 @@ def _print_queue_status(status: dict) -> None:
         header += f"; active: {owners}"
     if status["expired_leases"]:
         header += f"; {len(status['expired_leases'])} expired lease(s) to steal"
+    if status.get("quarantined"):
+        cells = ", ".join(str(e["task"]) for e in status["quarantined"])
+        header += f"; {len(status['quarantined'])} QUARANTINED (task {cells})"
     print(header)
     for name, bucket in status["workers"].items():
         line = (
@@ -798,6 +847,14 @@ def _print_queue_status(status: dict) -> None:
             + (f" ({bucket['steals']} stolen)" if bucket["steals"] else "")
             + (f", {bucket['cached']} cached" if bucket["cached"] else "")
             + (f", {bucket['duplicates']} duplicate" if bucket["duplicates"] else "")
+            + (f", {bucket['retries']} retried" if bucket.get("retries") else "")
+            + (f", {bucket['timeouts']} timed out" if bucket.get("timeouts") else "")
+            + (f", {bucket['handoffs']} handed off" if bucket.get("handoffs") else "")
+            + (
+                f", {bucket['quarantines']} quarantined"
+                if bucket.get("quarantines")
+                else ""
+            )
             + (f", {bucket['failed']} FAILED" if bucket["failed"] else "")
         )
         if bucket["elapsed_s"]:
@@ -828,7 +885,10 @@ def _run_cache_watch(args) -> int:
 
     Exits 0 once every watched queue is complete, 1 on a single
     incomplete snapshot (scriptable: CI gates on it), 2 when there is no
-    queue to watch.  ``--follow`` keeps re-rendering until completion.
+    queue to watch — and ``QUARANTINE_EXIT_CODE`` (3) when any watched
+    queue carries a quarantined task, so supervisors notice poisoned
+    cells even though the fleet itself ran to completion around them.
+    ``--follow`` keeps re-rendering until completion.
     """
     if args.queue is None:
         print(
@@ -848,6 +908,7 @@ def _run_cache_watch(args) -> int:
             return 2
         statuses = [queue_status(path) for path in dirs]
         complete = all(status["complete"] for status in statuses)
+        quarantined = any(status.get("quarantined") for status in statuses)
         if args.json:
             payload = statuses[0] if len(statuses) == 1 else statuses
             print(json.dumps(payload, indent=2, sort_keys=True))
@@ -855,9 +916,9 @@ def _run_cache_watch(args) -> int:
             for status in statuses:
                 _print_queue_status(status)
         if complete:
-            return 0
+            return QUARANTINE_EXIT_CODE if quarantined else 0
         if not args.follow:
-            return 1
+            return QUARANTINE_EXIT_CODE if quarantined else 1
         time.sleep(1.0)
 
 
@@ -1075,6 +1136,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shard needs checkpoints to hand to the merge; drop --no-cache")
     if args.lease_ttl <= 0:
         parser.error("--lease-ttl must be > 0 seconds")
+    if args.max_attempts < 1:
+        parser.error("--max-attempts must be >= 1")
+    if args.watchdog_mult < 0:
+        parser.error("--watchdog-mult must be >= 0 (0 disables the watchdog)")
+    if args.watchdog_floor < 0:
+        parser.error("--watchdog-floor must be >= 0 seconds")
     if args.metrics_dir is not None:
         # Enable before any engine work so the scheduler, caches, queue
         # and search all record; the directory is created eagerly so a
@@ -1142,6 +1209,11 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir = args.out / "cell_cache"
         else:
             cache_dir = _DEFAULT_CACHE_DIR
+    resilience = ResilienceConfig(
+        max_attempts=args.max_attempts,
+        watchdog_multiplier=args.watchdog_mult,
+        watchdog_floor=args.watchdog_floor,
+    )
     engine_kwargs = dict(
         jobs=args.jobs,
         cache_dir=cache_dir,
@@ -1150,6 +1222,7 @@ def main(argv: list[str] | None = None) -> int:
         shard=args.shard,
         queue_dir=args.queue,
         lease_ttl=args.lease_ttl,
+        resilience=resilience,
     )
     epsilons = getattr(args, "epsilons", None)
     stack = args.stack
@@ -1164,7 +1237,7 @@ def main(argv: list[str] | None = None) -> int:
     # dict.fromkeys: drop repeated --factor flags while keeping order
     factors = tuple(dict.fromkeys(getattr(args, "factor", None) or ABLATION_FACTORS))
 
-    planned: list[tuple[str, Callable[[], None]]] = []
+    planned: list[tuple[str, Callable[[], int]]] = []
     if args.command in ("fig1", "all"):
         # fig1 is still serial (no engine port yet), so a sharded `all`
         # assigns it — like any task — to exactly one shard: the owner of
@@ -1259,10 +1332,14 @@ def main(argv: list[str] | None = None) -> int:
     # In "all" mode one failing experiment must not abort the rest: record
     # the failure, keep producing the other artifacts, and report a
     # non-zero exit at the end.  Single-experiment runs keep raising.
+    # Steps return their own exit codes — QUARANTINE_EXIT_CODE when a
+    # queue run completed around a poisoned task — and the worst one
+    # wins, so a quarantine is never masked by later healthy steps.
     failed: list[str] = []
+    exit_code = 0
     for name, step in planned:
         try:
-            step()
+            exit_code = max(exit_code, step() or 0)
         except Exception as error:
             if args.command != "all":
                 raise
@@ -1281,8 +1358,8 @@ def main(argv: list[str] | None = None) -> int:
             + ", ".join(failed),
             file=sys.stderr,
         )
-        return 1
-    return 0
+        return max(exit_code, 1)
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -26,13 +26,18 @@ from collections.abc import Callable
 from pathlib import Path
 
 from repro.engine.cache import SweepCache, WeightCache, sweep_fingerprint, training_fingerprint
-from repro.engine.costs import cached_sweep_costs, order_sweep_tasks
+from repro.engine.costs import (
+    cached_sweep_costs,
+    order_sweep_tasks,
+    sweep_deadline_estimator,
+)
 from repro.engine.job import ExplorationJobContext
 from repro.engine.queue import (
     DEFAULT_LEASE_TTL,
     QueueRunResult,
     run_queued_tasks,
 )
+from repro.engine.resilience import ResilienceConfig
 from repro.engine.scheduler import ContextSpec, run_tasks
 from repro.engine.shard import (
     ShardRunResult,
@@ -129,6 +134,7 @@ def run_sweep_schedule(
     shard: ShardSpec | None = None,
     queue_dir: str | Path | None = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    resilience: ResilienceConfig | None = None,
 ) -> tuple[list[SweepResult] | QueueRunResult, dict]:
     """Shared scheduling scaffold of the engine-ported sweep experiments.
 
@@ -197,6 +203,7 @@ def run_sweep_schedule(
     costs = cached_sweep_costs(cache_dir) if cache_dir is not None else None
 
     if queue_dir is not None:
+        supervision = resilience if resilience is not None else ResilienceConfig()
         queue_result, stats = run_queued_tasks(
             context,
             tasks,
@@ -209,6 +216,12 @@ def run_sweep_schedule(
             progress=progress,
             lease_ttl=lease_ttl,
             pending_order=lambda pending: order_sweep_tasks(pending, costs),
+            resilience=supervision,
+            task_deadline=sweep_deadline_estimator(
+                costs,
+                multiplier=supervision.watchdog_multiplier,
+                floor=supervision.watchdog_floor,
+            ),
         )
         queue_result.metadata.update(
             profile=profile.name, weights_reused=weights_reused

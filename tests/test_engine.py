@@ -16,6 +16,7 @@ from repro import nn
 from repro.data import ArrayDataset
 from repro.engine import (
     CellCache,
+    ResilienceConfig,
     build_cell_tasks,
     context_fingerprint,
     run_cell_task,
@@ -208,7 +209,7 @@ class TestRunnerCLIFlags:
 
         def fake_grid(profile, verbose=False, jobs=1, cache_dir=None, resume=False,
                       start_method="auto", shard=None, stack=1, queue_dir=None,
-                      lease_ttl=60.0):
+                      lease_ttl=60.0, resilience=None):
             captured.update(
                 profile=profile.name,
                 jobs=jobs,
@@ -219,6 +220,7 @@ class TestRunnerCLIFlags:
                 stack=stack,
                 queue_dir=queue_dir,
                 lease_ttl=lease_ttl,
+                resilience=resilience,
             )
             return _stub_result()
 
@@ -238,6 +240,8 @@ class TestRunnerCLIFlags:
             "stack": 1,
             "queue_dir": None,
             "lease_ttl": 60.0,
+            # The CLI threads its default supervision bundle everywhere.
+            "resilience": ResilienceConfig(),
         }
         saved = tmp_path / "grid_micro.json"
         assert saved.exists()

@@ -402,6 +402,10 @@ class TestRecordingHelpers:
         assert by_name["repro_tasks_total"]["labels"]["job"] == ("cell", "sweep", "stacked")
         assert by_name["repro_queue_events_total"]["labels"]["event"] == (
             "claim", "steal", "commit", "cached", "duplicate", "failed",
+            "retry", "quarantine", "handoff", "timeout", "cache_write_retry",
+        )
+        assert by_name["repro_task_attempts"]["labels"]["outcome"] == (
+            "committed", "quarantined",
         )
         for entry in CATALOG:
             assert entry["type"] in {"counter", "gauge", "histogram"}

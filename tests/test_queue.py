@@ -33,8 +33,10 @@ import pytest
 from repro import nn
 from repro.data import ArrayDataset
 from repro.engine import (
+    AttemptLedger,
     CellCache,
     QueueError,
+    ResilienceConfig,
     ShardSpec,
     WorkQueue,
     context_fingerprint,
@@ -51,6 +53,12 @@ from repro.robustness import ExplorationConfig, RobustnessExplorer
 from repro.training.trainer import TrainingConfig
 
 FINGERPRINT = "f" * 64
+
+# Failures in these tests are injected, not real: a tiny deterministic
+# backoff keeps the retry path fast without changing its structure.
+FAST_RETRIES = ResilienceConfig(
+    backoff_base=0.01, backoff_cap=0.02, jitter=0.0
+)
 
 
 class FakeClock:
@@ -256,6 +264,40 @@ class TestWorkQueueProtocol:
         old = time.time() - 60.0
         os.utime(a.lease_path(0), (old, old))
         acquired, stolen = a.acquire(0)
+        assert acquired and stolen
+
+    def test_torn_lease_with_future_mtime_expires_after_one_ttl(self, tmp_path):
+        # Clock skew (NFS, a wrong-clocked host) can stamp the garbage
+        # lease with a *future* mtime; keying expiry on the mtime alone
+        # would then block the task forever.  The observer's first
+        # sighting caps the synthetic heartbeat, so one TTL after a
+        # worker first sees the torn lease it becomes stealable through
+        # the normal path.
+        clock = FakeClock(start=time.time())
+        a = make_queue(tmp_path, "a", clock, lease_ttl=5.0)
+        a.lease_path(0).write_text("{half a claim")
+        future = time.time() + 3_600.0
+        os.utime(a.lease_path(0), (future, future))
+        acquired, _ = a.acquire(0)
+        assert not acquired  # first sighting: still within its TTL grace
+        clock.advance(6.0)
+        acquired, stolen = a.acquire(0)
+        assert acquired and stolen
+
+    def test_handed_off_lease_is_stolen_without_ttl_wait(self, tmp_path):
+        # A gracefully retiring worker writes a handoff tombstone; peers
+        # reclaim its fresh lease immediately instead of waiting out the
+        # heartbeat TTL.
+        clock = FakeClock()
+        a = make_queue(tmp_path, "a", clock, lease_ttl=1_000.0)
+        b = make_queue(tmp_path, "b", clock, lease_ttl=1_000.0)
+        assert a.claim(0)
+        assert not b.steal(0)  # fresh lease, no handoff: untouchable
+        AttemptLedger(tmp_path, clock=clock).record_handoff(
+            0, worker="a", signal_name="SIGTERM"
+        )
+        clock.advance(0.5)  # far inside the TTL — the handoff alone frees it
+        acquired, stolen = b.acquire(0)
         assert acquired and stolen
 
     def test_snapshot_classifies_done_active_expired(self, tmp_path):
@@ -476,9 +518,13 @@ class TestRunQueuedTasks:
                 tmp_path / "q", experiment="grid",
             )
 
-    def test_failed_cache_write_is_fatal(self, explorer, tmp_path, monkeypatch):
+    def test_failed_cache_write_is_fatal_after_one_retry(
+        self, explorer, tmp_path, monkeypatch
+    ):
         # The local scheduler shrugs off checkpoint failures; a queue
         # worker cannot — the cache is how its results reach the fleet.
+        # A transient ENOSPC gets exactly one bounded retry (recorded as
+        # a cache_write_retry event) before the worker dies.
         cache = self._cache(explorer, tmp_path / "cache")
         monkeypatch.setattr(
             CellCache, "put",
@@ -488,24 +534,127 @@ class TestRunQueuedTasks:
             run_queued_tasks(
                 explorer.context, explorer.tasks(), run_cell_task, cache,
                 tmp_path / "q", experiment="grid", lease_ttl=30.0,
+                worker="full", resilience=FAST_RETRIES,
             )
+        events = read_events(tmp_path / "q" / "events_full.jsonl")
+        kinds = [e["event"] for e in events]
+        assert "cache_write_retry" in kinds
+        assert "failed" in kinds
+        assert kinds.index("cache_write_retry") < kinds.index("failed")
 
-    def test_crashed_run_fn_logs_failure_and_releases(self, explorer, tmp_path):
+    def test_transient_cache_write_failure_is_absorbed(
+        self, explorer, tmp_path, monkeypatch
+    ):
+        # ENOSPC that clears before the bounded retry (space freed, quota
+        # raised) must cost one cache_write_retry event and nothing else.
+        cache = self._cache(explorer, tmp_path / "cache")
+        real_put = CellCache.put
+        flaked: set[int] = set()
+
+        def flaky_put(self, task, value):
+            if task.index not in flaked:
+                flaked.add(task.index)
+                raise OSError("disk full")
+            return real_put(self, task, value)
+
+        monkeypatch.setattr(CellCache, "put", flaky_put)
+        tasks = explorer.tasks()
+        result, _ = run_queued_tasks(
+            explorer.context, tasks, run_cell_task, cache, tmp_path / "q",
+            experiment="grid", cache_dir=tmp_path / "cache",
+            lease_ttl=30.0, worker="flaky", resilience=FAST_RETRIES,
+        )
+        assert sorted(result.committed) == [t.index for t in tasks]
+        assert result.quarantined == ()
+        events = read_events(result.events_path)
+        retries = [e for e in events if e["event"] == "cache_write_retry"]
+        assert len(retries) == len(tasks)
+        assert not any(e["event"] == "failed" for e in events)
+
+    def test_crashed_run_fn_retries_then_quarantines(self, explorer, tmp_path):
+        # A task that fails on every attempt burns its budget and lands
+        # in quarantine; the worker survives, nothing stays leased, and
+        # the marker carries the attempt history.
         tasks = explorer.tasks()
         cache = self._cache(explorer, tmp_path / "cache")
 
         def explode(context, task):
             raise RuntimeError("boom")
 
-        with pytest.raises(RuntimeError, match="boom"):
-            run_queued_tasks(
-                explorer.context, tasks, explode, cache, tmp_path / "q",
-                experiment="grid", lease_ttl=30.0, worker="doomed",
-            )
-        events = read_events(tmp_path / "q" / "events_doomed.jsonl")
-        assert any(e["event"] == "failed" for e in events)
-        # The doomed worker released on the way out — nothing left leased.
+        supervision = ResilienceConfig(
+            max_attempts=2, backoff_base=0.01, backoff_cap=0.02, jitter=0.0
+        )
+        result, stats = run_queued_tasks(
+            explorer.context, tasks, explode, cache, tmp_path / "q",
+            experiment="grid", lease_ttl=30.0, worker="doomed",
+            resilience=supervision, poll_interval=0.01,
+        )
+        assert result.committed == ()
+        assert sorted(result.quarantined) == [t.index for t in tasks]
+        assert result.complete  # quarantine resolves the queue, not hangs it
         assert not list((tmp_path / "q").glob("lease_*.json"))
+        events = read_events(result.events_path)
+        kinds = Counter(e["event"] for e in events)
+        assert kinds["retry"] == len(tasks)  # attempt 1 of each
+        assert kinds["quarantine"] == len(tasks)  # attempt 2 exhausts
+        assert kinds.get("failed", 0) == 0  # task crashes are not worker-fatal
+        ledger = AttemptLedger(tmp_path / "q")
+        for task in tasks:
+            marker = ledger.quarantine_record(task.index)
+            assert len(marker["attempts"]) == 2
+            assert "boom" in marker["error"]
+            assert "RuntimeError" in marker["attempts"][-1]["traceback"]
+
+    def test_every_task_failing_once_still_exact_covers(self, explorer, tmp_path):
+        # The seeded-interleaving guarantee under fire: a ragged pair of
+        # workers where *every* task's first attempt crashes must still
+        # end with an exact cover and exactly one commit per task.
+        tasks = explorer.tasks()
+        cache = self._cache(explorer, tmp_path / "cache")
+        attempts_seen: dict[int, int] = {}
+        attempts_lock = threading.Lock()
+
+        def fail_once(context, task):
+            with attempts_lock:
+                n = attempts_seen.get(task.index, 0) + 1
+                attempts_seen[task.index] = n
+            if n == 1:
+                raise RuntimeError(f"transient {task.index}")
+            return run_cell_task(context, task)
+
+        outcomes: dict[str, object] = {}
+
+        def serve(worker: str, delay: float) -> None:
+            time.sleep(delay)
+            outcomes[worker], _ = run_queued_tasks(
+                explorer.context, tasks, fail_once, cache, tmp_path / "q",
+                experiment="grid", cache_dir=tmp_path / "cache",
+                lease_ttl=30.0, worker=worker, poll_interval=0.01,
+                resilience=FAST_RETRIES,
+            )
+
+        threads = [
+            threading.Thread(target=serve, args=("early", 0.0)),
+            threading.Thread(target=serve, args=("late", 0.05)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        early = set(outcomes["early"].committed)
+        late = set(outcomes["late"].committed)
+        assert early.isdisjoint(late)
+        assert early | late == {t.index for t in tasks}
+        assert outcomes["early"].quarantined == ()
+        assert outcomes["late"].quarantined == ()
+        events = merge_event_logs(tmp_path / "q")
+        commits = Counter(e["task"] for e in events if e["event"] == "commit")
+        assert commits == Counter({t.index: 1 for t in tasks})
+        retries = Counter(e["task"] for e in events if e["event"] == "retry")
+        assert retries == Counter({t.index: 1 for t in tasks})
+        # The salvaged results are byte-identical to a clean evaluation.
+        for task in tasks:
+            assert cache.get(task) == run_cell_task(explorer.context, task)
 
     def test_two_workers_partition_without_overlap(self, explorer, tmp_path):
         # A ragged pair: the second worker joins late, mid-drain.  The
@@ -569,6 +718,42 @@ class TestQueueParity:
         for task, reference in zip(tasks, serial):
             assert shard_cache.get(task) == reference
             assert queue_cache.get(task) == reference
+
+    def test_quarantined_cell_leaves_the_rest_byte_identical(
+        self, explorer, tmp_path
+    ):
+        # Quarantine bounds the blast radius: a grid with one poisoned
+        # cell must equal the serial reference on every *other* cell —
+        # same bytes, no contagion — and leave only the poisoned index
+        # without a checkpoint.
+        tasks = explorer.tasks()
+        serial, _ = run_cell_tasks(explorer.context, tasks)
+        poisoned = tasks[2].index
+        cache = CellCache(tmp_path / "cache", context_fingerprint(explorer.context))
+
+        def poison_one(context, task):
+            if task.index == poisoned:
+                raise RuntimeError("poisoned cell")
+            return run_cell_task(context, task)
+
+        supervision = ResilienceConfig(
+            max_attempts=2, backoff_base=0.01, backoff_cap=0.02, jitter=0.0
+        )
+        result, _ = run_queued_tasks(
+            explorer.context, tasks, poison_one, cache, tmp_path / "q",
+            experiment="grid", cache_dir=tmp_path / "cache",
+            lease_ttl=30.0, worker="solo", resilience=supervision,
+            poll_interval=0.01,
+        )
+        assert result.quarantined == (poisoned,)
+        assert sorted(result.committed) == [
+            t.index for t in tasks if t.index != poisoned
+        ]
+        for task, reference in zip(tasks, serial):
+            if task.index == poisoned:
+                assert cache.get(task) is None
+            else:
+                assert cache.get(task) == reference
 
     def test_stacked_queue_leg_matches_serial(self, explorer, tmp_path):
         # --stack 2 through the queue: cells are folded into fused
@@ -691,3 +876,41 @@ class TestQueueCLI:
         statuses = payload if isinstance(payload, list) else [payload]
         assert statuses[0]["complete"] is True
         assert statuses[0]["workers"]["w0"]["commits"] == 2
+        # The resilience fields are always present, zeroed when healthy.
+        assert statuses[0]["attempts"] == 0
+        assert statuses[0]["quarantined"] == []
+        assert statuses[0]["handoffs"] == 0
+
+    @staticmethod
+    def _quarantine(root, index: int, *, attempts: int = 3) -> None:
+        ledger = AttemptLedger(root / "grid")
+        for _n in range(attempts):
+            ledger.record_attempt(
+                index, worker="w0", kind="error",
+                error="RuntimeError: boom", traceback_text="...",
+            )
+        assert ledger.quarantine(index, worker="w0")
+
+    def test_watch_quarantined_queue_exits_3(self, tmp_path, capsys):
+        # One cell quarantined, the other committed: the queue counts as
+        # complete (nothing left to run) but the watch exit code must
+        # surface the poisoned cell to supervisors.
+        _fake_queue_dir(tmp_path, tasks=2, done=1)
+        self._quarantine(tmp_path, 1)
+        assert main(["cache", "watch", "--queue", str(tmp_path)]) == 3
+        out = capsys.readouterr().out
+        assert "QUARANTINED" in out
+
+    def test_watch_json_carries_quarantine_attempt_history(self, tmp_path, capsys):
+        _fake_queue_dir(tmp_path, tasks=2, done=1)
+        self._quarantine(tmp_path, 1, attempts=3)
+        code = main(["cache", "watch", "--queue", str(tmp_path), "--json"])
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        status = payload if isinstance(payload, dict) else payload[0]
+        assert status["complete"] is True
+        assert status["attempts"] == 3
+        [entry] = status["quarantined"]
+        assert entry["task"] == 1
+        assert entry["attempts"] == 3
+        assert "boom" in entry["error"]
